@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+rendered table is printed to stdout (run pytest with ``-s`` to see it)
+and key quantities are attached to ``benchmark.extra_info`` so they
+appear in the JSON output of ``pytest-benchmark``.
+"""
+
+import pytest
+
+
+def report(result, benchmark=None, **extra):
+    """Print a rendered experiment and attach extras to the benchmark."""
+    print()
+    print(result.render())
+    if benchmark is not None:
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def once():
+    """Run the benchmarked callable exactly once (experiments are
+    multi-second simulations; statistical repetition adds nothing since
+    the simulator is deterministic given its seeds)."""
+    def runner(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+    return runner

@@ -1,0 +1,60 @@
+"""Ablation/extension: cache-line-size sensitivity (Section 4.2.2).
+
+The streamcluster bug only exists because the code's padding assumes a
+32-byte cache line. Sweep the machine's line size and verify the
+dependence, plus Predator's predictive (virtual-line) detection.
+"""
+
+from conftest import report
+from repro.experiments import linesize
+
+
+def test_line_size_sensitivity(benchmark, once):
+    result = once(benchmark, linesize.run)
+    report(result, benchmark,
+           rows=[(r.line_size, r.slot_invalidations,
+                  round(r.matched_fix_improvement, 3),
+                  round(r.padding64_improvement, 3))
+                 for r in result.rows],
+           predictive_128=result.predictive_detects_128)
+
+    by_size = {r.line_size: r for r in result.rows}
+    # On a 32B-line machine the padding is correct: no bug.
+    assert by_size[32].slot_invalidations < 20
+    assert abs(by_size[32].matched_fix_improvement - 1.0) < 0.02
+    # The bug appears at 64B and worsens at 128B.
+    assert by_size[64].slot_invalidations > 300
+    assert by_size[128].slot_invalidations > by_size[64].slot_invalidations
+    assert (by_size[128].matched_fix_improvement
+            > by_size[64].matched_fix_improvement)
+    # The 64-byte padding stops working on a 128-byte-line machine —
+    # padding is only a fix relative to the actual line size.
+    assert (by_size[128].padding64_improvement
+            < by_size[128].matched_fix_improvement)
+    # Predictive detection from the 64B trace.
+    assert result.predictive_detects_128
+
+
+def test_assumption_studies(benchmark, once):
+    """Section 2's assumptions: quantify the over-reporting they cause."""
+    from repro.experiments import assumptions
+
+    def both():
+        return (assumptions.run_oversubscription(),
+                assumptions.run_finite_cache())
+
+    oversub, finite = once(benchmark, both)
+    print()
+    print(oversub.render())
+    print()
+    print(finite.render())
+
+    # Assumption 1: all-on-one-core kills real invalidations; Cheetah's
+    # count barely moves.
+    truths = [r.ground_truth_invalidations for r in oversub.rows]
+    counts = [r.cheetah_sampled_invalidations for r in oversub.rows]
+    assert truths[-1] == 0 and counts[-1] > 0
+    # Assumption 2: tiny caches remove most real invalidations; Cheetah
+    # over-reports by >1.5x.
+    baseline, worst = finite.rows[0], finite.rows[-1]
+    assert worst.overreport_ratio(baseline) > 1.5

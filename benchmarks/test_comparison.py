@@ -1,0 +1,37 @@
+"""Benchmark: regenerate the Section 4.2.3 state-of-the-art comparison.
+
+Shape expectations (paper): Predator detects every instance (including
+the Figure 7 trio) at roughly 6x overhead; Cheetah detects the two
+significant instances at a few percent overhead.
+"""
+
+from conftest import report
+from repro.experiments import comparison
+
+
+def test_comparison_with_predator(benchmark, once):
+    result = once(benchmark, comparison.run)
+    report(result, benchmark,
+           rows=[(r.name, r.cheetah_detected, round(r.cheetah_overhead, 3),
+                  r.predator_detected, round(r.predator_overhead, 2))
+                 for r in result.rows])
+
+    by_name = {r.name: r for r in result.rows}
+    # Cheetah finds the significant instances...
+    assert by_name["linear_regression"].cheetah_detected
+    # ...and misses the negligible trio (by design).
+    for name in ("histogram", "reverse_index", "word_count"):
+        assert not by_name[name].cheetah_detected
+        # Predator's full instrumentation finds them.
+        assert by_name[name].predator_detected
+        # At a large overhead multiple (paper ~6x).
+        assert by_name[name].predator_overhead > 3.0
+        assert by_name[name].cheetah_overhead < 1.3
+    # Predator also sees the significant ones, of course.
+    assert by_name["linear_regression"].predator_detected
+    assert by_name["streamcluster"].predator_detected
+    # Sheriff: write-write instances are visible at a modest overhead,
+    # far below Predator's.
+    assert by_name["linear_regression"].sheriff_detected
+    for row in result.rows:
+        assert row.sheriff_overhead < row.predator_overhead

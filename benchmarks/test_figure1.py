@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 1(b) — the motivating microbenchmark.
+
+Shape expectations (paper): reality diverges from the linear-speedup
+expectation as threads increase, reaching roughly an order of magnitude
+(~13x) at 8 threads.
+"""
+
+from conftest import report
+from repro.experiments import figure1
+
+
+def test_figure1_microbenchmark(benchmark, once):
+    result = once(benchmark, figure1.run)
+    report(result, benchmark,
+           worst_slowdown=result.worst_slowdown,
+           slowdowns={r.threads: round(r.slowdown, 2)
+                      for r in result.rows})
+
+    slowdowns = {r.threads: r.slowdown for r in result.rows}
+    assert slowdowns[1] == 1.0
+    # Monotone divergence from the expectation.
+    assert slowdowns[2] < slowdowns[4] < slowdowns[8]
+    # Order of magnitude at 8 threads (paper: ~13x).
+    assert 8.0 <= slowdowns[8] <= 25.0
+
+
+def test_figure1_fix_restores_scaling(benchmark, once):
+    """The padding fix (one line per element) restores near-linear
+    scaling — the flip side of Figure 1 used throughout the paper."""
+    from repro.experiments.runner import run_workload
+    from repro.workloads.micro import ArrayIncrement
+
+    def measure():
+        bad = run_workload(ArrayIncrement(num_threads=8),
+                           jitter_seed=11).runtime
+        good = run_workload(ArrayIncrement(num_threads=8, fixed=True),
+                            jitter_seed=11).runtime
+        single = run_workload(ArrayIncrement(num_threads=1),
+                              jitter_seed=11).runtime
+        return bad, good, single
+
+    bad, good, single = once(benchmark, measure)
+    benchmark.extra_info["fix_speedup"] = round(bad / good, 2)
+    print(f"\nunfixed={bad} fixed={good} single={single} "
+          f"fix speedup={bad / good:.1f}x "
+          f"fixed parallel efficiency={single / 8 / good:.2f}")
+    assert bad / good > 5.0
+    # Fixed version within 2.5x of perfect linear speedup.
+    assert good < 2.5 * single / 8

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 4 — Cheetah's runtime overhead.
+
+Shape expectations (paper): ~7% average overhead across the 17
+Phoenix+PARSEC applications; every application except the thread-heavy
+kmeans (224 threads) and x264 (1024 threads) stays under ~12%; those two
+exceed 20% because of per-thread PMU setup.
+"""
+
+import statistics
+
+from conftest import report
+from repro.experiments import figure4
+
+
+def test_figure4_overhead(benchmark, once):
+    result = once(benchmark, figure4.run)
+    report(result, benchmark,
+           average=round(result.average, 4),
+           average_excl_thread_heavy=round(
+               result.average_excluding_thread_heavy, 4),
+           per_app={r.name: round(r.normalized_runtime, 3)
+                    for r in result.rows})
+
+    assert len(result.rows) == 17
+    # Low average overhead (paper: ~1.07).
+    assert result.average < 1.15
+    assert result.average_excluding_thread_heavy < 1.12
+    # Thread-heavy outliers are the worst, as in the paper.
+    kmeans = result.row("kmeans").normalized_runtime
+    x264 = result.row("x264").normalized_runtime
+    assert kmeans > result.average_excluding_thread_heavy
+    assert x264 > result.average_excluding_thread_heavy
+    assert max(kmeans, x264) > 1.15
+    # No application pays anywhere near instrumentation-level overhead.
+    assert all(r.normalized_runtime < 1.5 for r in result.rows)

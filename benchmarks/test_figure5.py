@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 5 — the linear_regression report.
+
+Shape expectations (paper): Cheetah reports the heap object allocated at
+linear_regression-pthread.c:139 as severe false sharing with a predicted
+improvement in the multiple-x range (paper: 5.76x), including word-level
+access breakdown.
+"""
+
+from conftest import report
+from repro.experiments import figure5
+
+
+def test_figure5_report(benchmark, once):
+    result = once(benchmark, figure5.run)
+    report(result, benchmark,
+           predicted_improvement=round(result.predicted_improvement, 3),
+           callsite=result.callsite)
+
+    assert result.detected
+    assert result.callsite == "linear_regression-pthread.c:139"
+    # Multiple-x predicted improvement (paper: 5.76x).
+    assert 3.0 < result.predicted_improvement < 12.0
+    # The report carries the Figure 5 fields.
+    for field in ("Detecting false sharing at the object",
+                  "invalidations", "totalThreads 16",
+                  "totalPossibleImprovementRate",
+                  "It is a heap object with the following callsite:"):
+        assert field in result.report_text

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 7 — negligible-impact false sharing.
+
+Shape expectations (paper): fixing the false sharing in histogram,
+reverse_index and word_count changes runtime by well under a percent
+(<0.2% on the paper's multi-second runs; the fraction shrinks further
+with scale), and Cheetah deliberately reports none of them.
+"""
+
+from conftest import report
+from repro.experiments import figure7
+
+
+def test_figure7_negligible_misses(benchmark, once):
+    result = once(benchmark, figure7.run)
+    report(result, benchmark,
+           worst_impact_percent=round(result.worst_impact_percent, 3),
+           impacts={r.name: round(r.impact_percent, 3)
+                    for r in result.rows})
+
+    assert len(result.rows) == 3
+    # Fixing changes runtime by under 1.5% at simulation scale (the
+    # paper's 0.2% corresponds to runs ~10^4x longer; impact scales down
+    # with run length since the update counts are fixed).
+    assert result.worst_impact_percent < 1.5
+    # Cheetah reports none of them — the point of the figure.
+    assert not any(r.cheetah_reported for r in result.rows)

@@ -1,0 +1,26 @@
+"""Benchmark: thread-scaling of false sharing damage (intro claim).
+
+Shape expectation: the slowdown caused by linear_regression's false
+sharing grows with thread count and saturates once every line of the
+shared object is contended — "adding more cores ... will further
+degrade the performance".
+"""
+
+from conftest import report
+from repro.experiments import scaling
+
+
+def test_thread_scaling(benchmark, once):
+    result = once(benchmark, scaling.run)
+    report(result, benchmark,
+           damages={r.threads: round(r.damage, 2) for r in result.rows})
+
+    damages = {r.threads: r.damage for r in result.rows}
+    # Monotone-ish growth into saturation.
+    assert damages[2] < damages[8]
+    assert damages[8] > 4.0
+    # Saturation: past 8 threads the damage stays in the same band
+    # rather than exploding (every line is already contended).
+    high = [damages[t] for t in (16, 24, 32)]
+    assert max(high) < 2.0 * damages[8]
+    assert min(high) > 0.7 * damages[8]

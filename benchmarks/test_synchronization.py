@@ -1,0 +1,31 @@
+"""Benchmark: the synchronisation-waiting limitation and its fix.
+
+Shape expectations: the paper's EQ 3 prediction degrades as barrier
+waiting grows (its stated unmodelled effect), exploding past 100% error
+once waits dominate; the extended (future-work) model keeps the
+sync-dominated rows within a small multiple of reality.
+"""
+
+from conftest import report
+from repro.experiments import synchronization
+
+
+def test_synchronization_limitation(benchmark, once):
+    result = once(benchmark, synchronization.run)
+    report(result, benchmark,
+           rows=[(r.imbalance, round(r.wait_fraction, 2),
+                  round(r.real_improvement, 2),
+                  round(r.predicted_improvement, 2),
+                  round(r.extended_prediction, 2)) for r in result.rows])
+
+    rows = {r.imbalance: r for r in result.rows}
+    # Waiting grows with the injected imbalance.
+    assert rows[8000].wait_fraction > rows[0].wait_fraction
+    # The paper's model: fine-ish when balanced, broken when not.
+    assert abs(rows[0].error_percent) < 60
+    assert abs(rows[8000].error_percent) > 200
+    # The future-work extension repairs the broken regime by an order
+    # of magnitude.
+    assert (abs(rows[8000].extended_error_percent)
+            < abs(rows[8000].error_percent) / 5)
+    assert abs(rows[2000].extended_error_percent) < 60

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 1: how precise are the predictions?
+
+For linear_regression and streamcluster at 2/4/8/16 threads, compare
+Cheetah's predicted improvement (from a profiled run of the unfixed
+program) with the real improvement (unfixed vs fixed native runs).
+
+Run (takes a couple of minutes):
+    python examples/assess_precision.py [--fast]
+"""
+
+import sys
+
+from repro.experiments import table1
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    if fast:
+        result = table1.run(seeds=(11,), thread_counts=(16, 4))
+    else:
+        result = table1.run()
+    print(result.render())
+    print(f"\nworst |diff|: {result.worst_diff_percent:.1f}% "
+          "(paper: <10% on every row)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Offline, DARWIN-style two-round analysis with recorded traces.
+
+Round 1: run the program once under a (zero-perturbation) tracer and
+save the full access trace to disk. Round 2: analyse the trace offline —
+replay it through Cheetah's detector at different sampling rates without
+re-running the program, and compare against the exact (unsampled)
+verdict.
+
+Run:
+    python examples/offline_analysis.py [trace-file]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.detection import DetectorConfig, FalseSharingDetector
+from repro.experiments.runner import run_workload
+from repro.trace import (
+    TraceRecorder, downsample, load_trace, replay_into_detector,
+    save_trace,
+)
+from repro.workloads.phoenix import LinearRegression
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.gettempdir()) / "linear_regression.trace.gz")
+
+    print("=== round 1: record the full access trace ===")
+    recorder = TraceRecorder()
+    outcome = run_workload(LinearRegression(num_threads=8),
+                           jitter_seed=11, observer=recorder)
+    count = save_trace(recorder, path)
+    print(f"recorded {count:,} accesses "
+          f"({outcome.result.total_accesses:,} executed) -> {path}")
+
+    print("\n=== round 2: offline analysis at several sampling rates ===")
+    allocator = outcome.result.allocator
+    symbols = outcome.result.symbols
+    print(f"{'period':>8} {'samples':>9} {'instances':>10} "
+          f"{'invalidations':>14}")
+    for period in (1, 32, 256, 2048):
+        detector = FalseSharingDetector(
+            DetectorConfig(min_invalidations=4))
+        records = load_trace(path)
+        if period > 1:
+            records = downsample(records, period=period)
+        replayed = replay_into_detector(records, detector,
+                                        serial_tids={0})
+        profiles = detector.build_objects(allocator, symbols)
+        invals = profiles[0].invalidations if profiles else 0
+        print(f"{period:>8} {replayed:>9,} {len(profiles):>10} "
+              f"{invals:>14}")
+
+    print("\nperiod=1 is the exact (Predator-equivalent) analysis; the "
+          "hot object stays\nvisible under sparse sampling while its "
+          "invalidation counts shrink proportionally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Overhead study: what does always-on Cheetah profiling cost?
+
+Reproduces a slice of Figure 4: for a few representative applications,
+runtime under Cheetah normalized to the native runtime — plus the same
+comparison for the Predator-style full-instrumentation baseline, showing
+why sampling matters for deployability.
+
+Run:
+    python examples/overhead_study.py
+"""
+
+from repro.baselines.predator import PredatorDetector
+from repro.experiments.runner import run_workload
+from repro.workloads import get_workload
+
+APPS = ("histogram", "swaptions", "streamcluster", "kmeans")
+
+
+def main() -> None:
+    print(f"{'application':>15s} {'native':>12s} {'Cheetah':>9s} "
+          f"{'Predator':>9s}")
+    for name in APPS:
+        cls = get_workload(name)
+        native = run_workload(cls(), jitter_seed=11).runtime
+        cheetah = run_workload(cls(), jitter_seed=11,
+                               with_cheetah=True).runtime
+        predator = run_workload(cls(), jitter_seed=11,
+                                observer=PredatorDetector()).runtime
+        print(f"{name:>15s} {native:>12,} "
+              f"{cheetah / native:>8.2f}x {predator / native:>8.2f}x")
+    print("\nCheetah's PMU sampling keeps overhead in the percent range "
+          "(paper: ~7% average);\nfull instrumentation costs multiples "
+          "(paper: ~6x for Predator) — too much for production.")
+
+
+if __name__ == "__main__":
+    main()

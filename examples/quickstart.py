@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: detect false sharing in the paper's Figure 1 microbenchmark.
+
+Eight threads increment adjacent 4-byte array elements — logically
+independent work that shares cache lines. We run it natively, run it
+under Cheetah, print Cheetah's report, then apply the padding fix and
+compare the measured speedup with Cheetah's prediction.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import profile, run_plain
+from repro.workloads.micro import ArrayIncrement
+
+
+def main() -> None:
+    threads = 8
+
+    print("=== 1. native run (with the false sharing bug) ===")
+    buggy = run_plain(ArrayIncrement(num_threads=threads))
+    print(f"runtime: {buggy.runtime:,} cycles, "
+          f"{buggy.total_accesses:,} memory accesses, "
+          f"{buggy.machine.directory.total_invalidations():,} "
+          "cache invalidations (ground truth)\n")
+
+    print("=== 2. the same run under Cheetah ===")
+    profiled, report = profile(ArrayIncrement(num_threads=threads))
+    overhead = profiled.runtime / buggy.runtime
+    print(f"profiling overhead: {(overhead - 1) * 100:+.1f}%\n")
+    print(report.render())
+
+    print("\n=== 3. apply the padding fix and compare ===")
+    fixed = run_plain(ArrayIncrement(num_threads=threads, fixed=True))
+    real = buggy.runtime / fixed.runtime
+    best = report.best()
+    predicted = best.improvement if best else float("nan")
+    print(f"real speedup from padding:      {real:.2f}x")
+    print(f"Cheetah's predicted speedup:    {predicted:.2f}x")
+    if best:
+        diff = (predicted - real) / real * 100
+        print(f"prediction error:               {diff:+.1f}%")
+        print("\n(Cheetah predicts the *best case* of fixing — Section 3.1"
+              " —\nso a modest optimistic bias on compute-diluted kernels "
+              "is expected.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Reproduction of "Cheetah: Detecting False Sharing Efficiently and
+Effectively" (Liu & Liu, CGO 2016) on a simulated multicore substrate.
+
+Quick start::
+
+    from repro import profile
+    from repro.workloads import get_workload
+
+    workload = get_workload("linear_regression")(num_threads=8)
+    result, report = profile(workload)
+    print(report.render())
+
+The package layers:
+
+- ``repro.sim`` / ``repro.runtime`` / ``repro.heap`` / ``repro.pmu`` /
+  ``repro.symbols`` — the simulated hardware and runtime substrate;
+- ``repro.core`` — Cheetah itself (detection, assessment, reporting);
+- ``repro.baselines`` — Predator-style full instrumentation and the
+  Zhao et al. ownership rule;
+- ``repro.workloads`` — synthetic Phoenix/PARSEC benchmarks;
+- ``repro.experiments`` — regeneration of every table and figure in the
+  paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
+from repro.errors import ReproError
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sampler import PMU, PMUConfig
+from repro.sim.engine import Engine, RunResult
+from repro.sim.params import LatencyModel, MachineConfig
+from repro.symbols.table import SymbolTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheetahConfig",
+    "CheetahProfiler",
+    "CheetahReport",
+    "Engine",
+    "LatencyModel",
+    "MachineConfig",
+    "PMU",
+    "PMUConfig",
+    "ReproError",
+    "RunResult",
+    "SymbolTable",
+    "profile",
+    "run_plain",
+    "__version__",
+]
+
+
+def _prepare(workload_or_fn: Any, symbols: Optional[SymbolTable]):
+    """Accept either a Workload object or a bare generator function."""
+    if hasattr(workload_or_fn, "main") and hasattr(workload_or_fn, "setup"):
+        table = symbols or SymbolTable()
+        workload_or_fn.setup(table)
+        return workload_or_fn.main, table
+    return workload_or_fn, symbols or SymbolTable()
+
+
+def run_plain(workload_or_fn: Any, *args: Any,
+              machine_config: Optional[MachineConfig] = None,
+              symbols: Optional[SymbolTable] = None) -> RunResult:
+    """Run a workload without any profiling (the "pthreads" baseline)."""
+    main_fn, table = _prepare(workload_or_fn, symbols)
+    config = machine_config or MachineConfig()
+    engine = Engine(config=config, symbols=table,
+                    allocator=CheetahAllocator(line_size=config.cache_line_size))
+    return engine.run(main_fn, *args)
+
+
+def profile(workload_or_fn: Any, *args: Any,
+            machine_config: Optional[MachineConfig] = None,
+            pmu_config: Optional[PMUConfig] = None,
+            cheetah_config: Optional[CheetahConfig] = None,
+            symbols: Optional[SymbolTable] = None,
+            ) -> Tuple[RunResult, CheetahReport]:
+    """Run a workload under Cheetah; returns (run result, report)."""
+    main_fn, table = _prepare(workload_or_fn, symbols)
+    config = machine_config or MachineConfig()
+    pmu = PMU(pmu_config or PMUConfig())
+    engine = Engine(config=config, symbols=table, pmu=pmu,
+                    allocator=CheetahAllocator(line_size=config.cache_line_size))
+    profiler = CheetahProfiler(cheetah_config)
+    profiler.attach(engine)
+    result = engine.run(main_fn, *args)
+    report = profiler.finalize(result)
+    return result, report

@@ -1,0 +1,25 @@
+"""Baseline detectors the paper compares against.
+
+- :mod:`repro.baselines.predator` — Predator (Liu et al., PPoPP'14), the
+  state of the art: compiler-instrumentation observing *every* access
+  (~6x overhead), detecting the largest number of instances, including
+  ones Cheetah's sampling misses (Section 4.2.3);
+- :mod:`repro.baselines.ownership` — the ownership rule of Zhao et al.
+  (VEE'11), which needs one bit per thread per line (the memory-scaling
+  problem Cheetah's two-entry table removes, Section 2.3);
+- :mod:`repro.baselines.sheriff` — Sheriff (Liu & Berger, OOPSLA'11):
+  page-protection write capture, ~20% overhead, write-write-only
+  detection (Section 6.1's OS-related category).
+"""
+
+from repro.baselines.ownership import OwnershipTracker
+from repro.baselines.predator import PredatorDetector, PredatorFinding
+from repro.baselines.sheriff import SheriffDetector, SheriffFinding
+
+__all__ = [
+    "OwnershipTracker",
+    "PredatorDetector",
+    "PredatorFinding",
+    "SheriffDetector",
+    "SheriffFinding",
+]

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro run linear_regression --threads 8
+    python -m repro profile linear_regression --threads 16 --period 128
+    python -m repro fix-check streamcluster --threads 8
+    python -m repro compare histogram
+    python -m repro experiment table1 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.baselines.predator import PredatorDetector
+from repro.baselines.sheriff import SheriffDetector
+from repro.core.profiler import CheetahConfig
+from repro.experiments import (
+    assumptions, comparison, figure1, figure4, figure5, figure7, linesize,
+    scaling, synchronization, table1,
+)
+from repro.experiments.runner import run_workload
+from repro.pmu.sampler import PMUConfig
+from repro.workloads import all_workload_names, get_workload
+
+EXPERIMENTS = {
+    "figure1": lambda args: figure1.run(scale=args.scale),
+    "figure4": lambda args: figure4.run(scale=args.scale),
+    "figure5": lambda args: figure5.run(scale=args.scale),
+    "figure7": lambda args: figure7.run(scale=args.scale),
+    "table1": lambda args: table1.run(scale=args.scale),
+    "comparison": lambda args: comparison.run(scale=args.scale),
+    "oversubscription": lambda args: assumptions.run_oversubscription(),
+    "finite-cache": lambda args: assumptions.run_finite_cache(),
+    "linesize": lambda args: linesize.run(scale=args.scale),
+    "scaling": lambda args: scaling.run(scale=args.scale),
+    "synchronization": lambda args: synchronization.run(),
+}
+
+
+def _run_all(args):
+    from repro.experiments import full_report
+    import sys
+    return full_report.run(
+        scale=args.scale,
+        progress=lambda title: print(f"... {title}", file=sys.stderr))
+
+
+EXPERIMENTS["all"] = _run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cheetah (CGO'16) reproduction: false sharing "
+                    "detection on a simulated multicore.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    def add_workload_args(p):
+        p.add_argument("workload", help="workload name (see 'list')")
+        p.add_argument("--threads", type=int, default=None,
+                       help="worker thread count (default: workload's)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="iteration-count multiplier")
+        p.add_argument("--fixed", action="store_true",
+                       help="use the padded (bug-fixed) layout")
+        p.add_argument("--seed", type=int, default=11,
+                       help="machine timing-jitter seed")
+
+    run_p = sub.add_parser("run", help="run a workload natively")
+    add_workload_args(run_p)
+
+    prof_p = sub.add_parser("profile", help="run a workload under Cheetah")
+    add_workload_args(prof_p)
+    prof_p.add_argument("--period", type=int, default=None,
+                        help="PMU sampling period in instructions")
+    prof_p.add_argument("--true-sharing", action="store_true",
+                        help="include true-sharing instances in the report")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+
+    fix_p = sub.add_parser(
+        "fix-check",
+        help="measure the real speedup of the padding fix and compare "
+             "with Cheetah's prediction")
+    add_workload_args(fix_p)
+
+    cmp_p = sub.add_parser(
+        "compare", help="run Cheetah, Predator and Sheriff on a workload")
+    add_workload_args(cmp_p)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS),
+                       help="which artifact to regenerate")
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def cmd_list(args) -> int:
+    print(f"{'name':<20} {'suite':<8} {'threads':<8} false-sharing")
+    for name in all_workload_names():
+        cls = get_workload(name)
+        if cls.documented_false_sharing:
+            fs = ("significant" if cls.significant_false_sharing
+                  else "negligible")
+        else:
+            fs = "-"
+        print(f"{name:<20} {cls.suite:<8} {cls.default_threads:<8} {fs}")
+    return 0
+
+
+def _make_workload(args):
+    cls = get_workload(args.workload)
+    return cls(num_threads=args.threads, scale=args.scale,
+               fixed=args.fixed)
+
+
+def cmd_run(args) -> int:
+    outcome = run_workload(_make_workload(args), jitter_seed=args.seed)
+    result = outcome.result
+    print(f"workload:       {args.workload}")
+    print(f"runtime:        {result.runtime:,} cycles")
+    print(f"threads:        {len(result.threads) - 1} workers")
+    print(f"accesses:       {result.total_accesses:,}")
+    print(f"invalidations:  "
+          f"{result.machine.directory.total_invalidations():,} "
+          "(ground truth)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.advisor import advise
+    from repro.core.export import report_to_json
+    pmu = PMUConfig(period=args.period) if args.period else None
+    cheetah = CheetahConfig(report_true_sharing=args.true_sharing)
+    outcome = run_workload(_make_workload(args), jitter_seed=args.seed,
+                           with_cheetah=True, pmu_config=pmu,
+                           cheetah_config=cheetah)
+    if args.json:
+        print(report_to_json(outcome.report))
+        return 0 if outcome.report.significant else 1
+    print(outcome.report.render())
+    for instance in outcome.report.significant:
+        advice = advise(instance)
+        if advice is not None:
+            print()
+            print(advice.render())
+    return 0 if outcome.report.significant else 1
+
+
+def cmd_fix_check(args) -> int:
+    cls = get_workload(args.workload)
+    kwargs = dict(num_threads=args.threads, scale=args.scale)
+    original = run_workload(cls(**kwargs), jitter_seed=args.seed)
+    fixed = run_workload(cls(fixed=True, **kwargs), jitter_seed=args.seed)
+    profiled = run_workload(cls(**kwargs), jitter_seed=args.seed,
+                            with_cheetah=True)
+    real = original.runtime / fixed.runtime
+    best = profiled.report.best()
+    print(f"runtime (original): {original.runtime:,} cycles")
+    print(f"runtime (fixed):    {fixed.runtime:,} cycles")
+    print(f"real improvement:   {real:.3f}x")
+    if best is None:
+        print("Cheetah predicted:  (no significant instance reported)")
+        return 1
+    diff = (best.improvement - real) / real * 100
+    print(f"Cheetah predicted:  {best.improvement:.3f}x ({diff:+.1f}%)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    cls = get_workload(args.workload)
+    kwargs = dict(num_threads=args.threads, scale=args.scale)
+    native = run_workload(cls(**kwargs), jitter_seed=args.seed)
+
+    cheetah = run_workload(cls(**kwargs), jitter_seed=args.seed,
+                           with_cheetah=True)
+    predator = PredatorDetector(min_invalidations=40)
+    predator_run = run_workload(cls(**kwargs), jitter_seed=args.seed,
+                                observer=predator)
+    sheriff = SheriffDetector()
+    sheriff_run = run_workload(cls(**kwargs), jitter_seed=args.seed,
+                               observer=sheriff)
+
+    rows = [
+        ("Cheetah", bool(cheetah.report.significant),
+         cheetah.runtime / native.runtime),
+        ("Predator", bool(predator.false_sharing_findings(
+            predator_run.result.allocator, predator_run.result.symbols)),
+         predator_run.runtime / native.runtime),
+        ("Sheriff", bool(sheriff.false_sharing_findings(
+            sheriff_run.result.allocator, sheriff_run.result.symbols)),
+         sheriff_run.runtime / native.runtime),
+    ]
+    print(f"{'tool':<10} {'detects FS':<12} overhead")
+    for tool, detected, overhead in rows:
+        print(f"{tool:<10} {'yes' if detected else 'no':<12} "
+              f"{overhead:.2f}x")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    result = EXPERIMENTS[args.name](args)
+    print(result.render())
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "profile": cmd_profile,
+    "fix-check": cmd_fix_check,
+    "compare": cmd_compare,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

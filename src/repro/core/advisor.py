@@ -1,0 +1,124 @@
+"""Padding advisor: turn word-level reports into concrete fixes.
+
+The paper argues that "word-based information also helps programmers to
+decide how to pad a problematic data structure" (Section 2.4) but leaves
+the deciding to the programmer. This module automates it: from an
+object's word-level access map it infers the per-thread element layout
+(start offset and extent per thread), estimates the element stride, and
+recommends the smallest padded stride that puts every thread's element
+on its own cache line.
+
+For the paper's two bugs the advice reproduces the published fixes:
+56-byte ``lreg_args`` -> pad to 64; streamcluster's 32-byte slots ->
+pad to 64.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.report import ObjectReport
+
+
+@dataclass(frozen=True)
+class ThreadExtent:
+    """Byte range of one thread's accesses within the object."""
+
+    tid: int
+    start: int  # byte offset of first accessed word
+    end: int  # byte offset one past the last accessed byte
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class PaddingAdvice:
+    """A concrete layout fix for a falsely-shared object."""
+
+    object_label: str
+    line_size: int
+    inferred_stride: Optional[int]  # bytes between per-thread elements
+    recommended_stride: int  # pad each element to this many bytes
+    extents: List[ThreadExtent] = field(default_factory=list)
+    already_line_aligned: bool = False
+
+    @property
+    def extra_bytes_per_element(self) -> int:
+        if self.inferred_stride is None:
+            return self.recommended_stride
+        return self.recommended_stride - self.inferred_stride
+
+    def render(self) -> str:
+        lines = [f"Padding advice for {self.object_label}:"]
+        if self.already_line_aligned:
+            lines.append(
+                f"  layout already uses {self.inferred_stride}-byte "
+                "line-aligned elements; padding will not help")
+            return "\n".join(lines)
+        if self.inferred_stride is not None:
+            lines.append(
+                f"  inferred per-thread element stride: "
+                f"{self.inferred_stride} bytes")
+        lines.append(
+            f"  recommended stride: {self.recommended_stride} bytes "
+            f"(+{self.extra_bytes_per_element} padding per element, "
+            f"one {self.line_size}-byte line multiple)")
+        lines.append(
+            f"  e.g. add 'char pad[{self.extra_bytes_per_element}];' at "
+            "the end of the element struct, or align allocations with "
+            f"aligned_alloc({self.line_size}, ...)")
+        return "\n".join(lines)
+
+
+def thread_extents(report: ObjectReport,
+                   word_size: int = 4) -> List[ThreadExtent]:
+    """Per-thread byte ranges from the report's word-level summary."""
+    ranges: Dict[int, Tuple[int, int]] = {}
+    for rel_word, info in report.profile.word_summary.items():
+        byte = rel_word * word_size
+        for tid in info["tids"]:
+            lo, hi = ranges.get(tid, (byte, byte + word_size))
+            ranges[tid] = (min(lo, byte), max(hi, byte + word_size))
+    return [ThreadExtent(tid=tid, start=lo, end=hi)
+            for tid, (lo, hi) in sorted(ranges.items(),
+                                        key=lambda kv: kv[1][0])]
+
+
+def infer_stride(extents: List[ThreadExtent]) -> Optional[int]:
+    """Median gap between consecutive threads' element starts."""
+    starts = sorted(e.start for e in extents)
+    gaps = [b - a for a, b in zip(starts, starts[1:]) if b > a]
+    if not gaps:
+        return None
+    return int(statistics.median(gaps))
+
+
+def advise(report: ObjectReport, line_size: int = 64,
+           word_size: int = 4) -> Optional[PaddingAdvice]:
+    """Produce padding advice for a reported instance.
+
+    Returns None when the report has no word-level data (nothing to
+    infer from).
+    """
+    extents = thread_extents(report, word_size)
+    if not extents:
+        return None
+    stride = infer_stride(extents)
+    widest = max(e.span for e in extents)
+    basis = max(stride or 0, widest, word_size)
+    recommended = -(-basis // line_size) * line_size  # round up
+    aligned = (stride is not None and stride % line_size == 0
+               and all(e.start % line_size + e.span <= line_size
+                       for e in extents))
+    return PaddingAdvice(
+        object_label=report.profile.label,
+        line_size=line_size,
+        inferred_stride=stride,
+        recommended_stride=recommended,
+        extents=extents,
+        already_line_aligned=aligned,
+    )

@@ -1,0 +1,173 @@
+"""Per-cache-line detection state (paper Sections 2.3 and 2.4).
+
+Zhao et al.'s ownership approach needs one bit per thread per line, which
+"cannot easily scale to more than 32 threads because of excessive memory
+consumption". Cheetah's replacement is the **two-entry table**: each line
+keeps at most two (thread id, access type) entries, and each thread
+occupies at most one entry. That bounded structure is enough to decide,
+for every sampled write, whether it invalidates some other core's copy.
+
+On top of that, *susceptible* lines (more than two sampled writes) get
+word-granularity shadow info: per 4-byte word, per thread, the number of
+sampled reads/writes and their total latency. Words touched by more than
+one thread indicate true sharing; disjoint per-thread word sets indicate
+false sharing; the latency totals feed the assessment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class TwoEntryTable:
+    """The per-line two-entry access table of Section 2.3.
+
+    Entries are ``(tid, is_write)`` pairs; at most two, from two distinct
+    threads. The public methods implement the paper's rules verbatim:
+
+    Read access:
+        recorded only when the table is not full and no existing entry
+        comes from the same thread; otherwise ignored.
+    Write access:
+        - table full -> invalidation (the two entries are from two
+          distinct threads, so at least one differs from the writer);
+        - one entry, same thread -> ignored (nothing to update);
+        - one entry, different thread -> invalidation;
+        - empty table -> recorded without an invalidation (there is no
+          other copy to invalidate; this happens only for the first
+          sampled access to a line, before the table becomes non-empty).
+
+    On invalidation the table is flushed and the write recorded, so the
+    table is never empty afterwards.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[int, bool]] = []
+
+    def record_read(self, tid: int) -> None:
+        entries = self.entries
+        if len(entries) >= 2:
+            return
+        for entry_tid, _ in entries:
+            if entry_tid == tid:
+                return
+        entries.append((tid, False))
+
+    def record_write(self, tid: int) -> bool:
+        """Apply a write; returns True when it incurs an invalidation."""
+        entries = self.entries
+        if len(entries) == 1 and entries[0][0] == tid:
+            return False
+        if not entries:
+            entries.append((tid, True))
+            return False
+        # Full table, or a single entry from a different thread.
+        self.entries = [(tid, True)]
+        return True
+
+    @property
+    def tids(self) -> List[int]:
+        return [tid for tid, _ in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class WordInfo:
+    """Sampled access counts for one 4-byte word, per thread."""
+
+    reads: Dict[int, int] = field(default_factory=dict)
+    writes: Dict[int, int] = field(default_factory=dict)
+    cycles: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, tid: int, is_write: bool, latency: int) -> None:
+        counter = self.writes if is_write else self.reads
+        counter[tid] = counter.get(tid, 0) + 1
+        self.cycles[tid] = self.cycles.get(tid, 0) + latency
+
+    @property
+    def tids(self) -> Set[int]:
+        return set(self.reads) | set(self.writes)
+
+    @property
+    def is_shared(self) -> bool:
+        """True when more than one thread accessed this word."""
+        return len(self.tids) > 1
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.reads.values()) + sum(self.writes.values())
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+
+class DetailedLine:
+    """Full shadow state for a susceptible cache line (>2 sampled writes)."""
+
+    __slots__ = ("table", "invalidations", "accesses", "writes",
+                 "total_latency", "words", "per_tid_accesses",
+                 "per_tid_cycles")
+
+    def __init__(self) -> None:
+        self.table = TwoEntryTable()
+        self.invalidations = 0
+        self.accesses = 0
+        self.writes = 0
+        self.total_latency = 0
+        self.words: Dict[int, WordInfo] = {}
+        self.per_tid_accesses: Dict[int, int] = {}
+        self.per_tid_cycles: Dict[int, int] = {}
+
+    def apply_table(self, tid: int, is_write: bool) -> bool:
+        """Run the two-entry-table rule; returns True on invalidation."""
+        if is_write:
+            if self.table.record_write(tid):
+                self.invalidations += 1
+                return True
+            return False
+        self.table.record_read(tid)
+        return False
+
+    def record_detail(self, word_offset: int, tid: int, is_write: bool,
+                      latency: int) -> None:
+        """Record word-level detail (only called inside parallel phases)."""
+        self.accesses += 1
+        if is_write:
+            self.writes += 1
+        self.total_latency += latency
+        info = self.words.get(word_offset)
+        if info is None:
+            info = WordInfo()
+            self.words[word_offset] = info
+        info.record(tid, is_write, latency)
+        self.per_tid_accesses[tid] = self.per_tid_accesses.get(tid, 0) + 1
+        self.per_tid_cycles[tid] = self.per_tid_cycles.get(tid, 0) + latency
+
+    @property
+    def tids(self) -> Set[int]:
+        tids: Set[int] = set()
+        for info in self.words.values():
+            tids |= info.tids
+        return tids
+
+    def shared_word_accesses(self) -> int:
+        """Accesses landing on words touched by more than one thread."""
+        return sum(w.total_accesses for w in self.words.values() if w.is_shared)
+
+    def word_summary(self) -> Dict[int, Dict[str, object]]:
+        """Per-word digest used by reports and tests."""
+        summary = {}
+        for offset, info in sorted(self.words.items()):
+            summary[offset] = {
+                "tids": sorted(info.tids),
+                "reads": sum(info.reads.values()),
+                "writes": sum(info.writes.values()),
+                "shared": info.is_shared,
+            }
+        return summary

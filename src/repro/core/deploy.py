@@ -1,0 +1,54 @@
+"""The paper's two-call deployment interface (Section 5).
+
+    "they can connect to the Cheetah library by calling only two APIs:
+    one API is to setup PMU-based registers, while the other handles
+    every sampled memory access, with less than 5 lines of code change."
+
+:func:`setup_sampling` is API #1 (programs the PMU and installs
+Cheetah's handler); :func:`handle_sample` is API #2 (normally invoked by
+the PMU automatically, exposed for hosts that deliver samples
+themselves — e.g. replaying a recorded trace through Cheetah online).
+
+The five-line integration::
+
+    pmu = PMU(PMUConfig())
+    engine = Engine(pmu=pmu)
+    profiler = setup_sampling(engine)          # API 1
+    result = engine.run(my_program)
+    print(profiler.finalize(result).render())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.profiler import CheetahConfig, CheetahProfiler
+from repro.pmu.sample import MemorySample
+from repro.sim.engine import Engine
+
+
+def setup_sampling(engine: Engine,
+                   config: Optional[CheetahConfig] = None,
+                   ) -> CheetahProfiler:
+    """API 1: arm PMU-based sampling and attach Cheetah to it.
+
+    The engine must have been constructed with a PMU; this installs
+    Cheetah's sample handler on it and returns the profiler whose
+    :meth:`~repro.core.profiler.CheetahProfiler.finalize` (or
+    :meth:`~repro.core.profiler.CheetahProfiler.report_now`) produces
+    reports.
+    """
+    profiler = CheetahProfiler(config)
+    profiler.attach(engine)
+    return profiler
+
+
+def handle_sample(profiler: CheetahProfiler,
+                  sample: MemorySample) -> None:
+    """API 2: feed one sampled memory access into Cheetah.
+
+    When :func:`setup_sampling` is used this is called automatically for
+    every PMU sample; call it directly only when the host environment
+    delivers samples itself.
+    """
+    profiler.handle_sample(sample)

@@ -1,0 +1,80 @@
+"""Structured (JSON-ready) export of Cheetah reports.
+
+Text reports are for humans; tooling (CI gates, dashboards, diffing two
+profiling runs) wants structured data. ``report_to_dict`` flattens a
+:class:`~repro.core.profiler.CheetahReport` into plain dicts/lists that
+``json.dumps`` accepts unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.profiler import CheetahReport
+from repro.core.report import ObjectReport
+
+
+def instance_to_dict(report: ObjectReport) -> Dict[str, Any]:
+    """One sharing instance as a JSON-ready dict."""
+    p = report.profile
+    a = report.assessment
+    return {
+        "kind": report.kind.value,
+        "object": {
+            "type": p.kind,
+            "label": p.label,
+            "start": p.start,
+            "end": p.end,
+            "size": p.size,
+            "lines": sorted(p.lines),
+        },
+        "sampled": {
+            "accesses": p.accesses,
+            "writes": p.writes,
+            "invalidations": p.invalidations,
+            "total_latency": p.total_latency,
+            "shared_word_accesses": p.shared_word_accesses,
+            "threads": sorted(p.tids),
+            "per_thread_accesses": dict(p.per_tid_accesses),
+            "per_thread_cycles": dict(p.per_tid_cycles),
+        },
+        "assessment": {
+            "improvement": a.improvement,
+            "improvement_rate_percent": a.improvement_rate_percent,
+            "real_runtime": a.real_runtime,
+            "predicted_runtime": a.predicted_runtime,
+            "aver_nofs_cycles": a.aver_nofs_cycles,
+            "fork_join_ok": a.fork_join_ok,
+        },
+        "words": {
+            str(rel_word * 4): {
+                "threads": info["tids"],
+                "reads": info["reads"],
+                "writes": info["writes"],
+                "shared": info["shared"],
+            }
+            for rel_word, info in sorted(p.word_summary.items())
+        },
+    }
+
+
+def report_to_dict(report: CheetahReport) -> Dict[str, Any]:
+    """A whole report as a JSON-ready dict."""
+    return {
+        "tool": "cheetah-repro",
+        "runtime_cycles": report.runtime,
+        "fork_join_model": report.fork_join_ok,
+        "aver_nofs_cycles": report.aver_nofs_cycles,
+        "serial_samples": report.serial_samples,
+        "total_samples": report.total_samples,
+        "significant": [instance_to_dict(r) for r in report.significant],
+        "all_instances": [instance_to_dict(r)
+                          for r in report.all_instances],
+    }
+
+
+def report_to_json(report: CheetahReport, indent: int = 2) -> str:
+    """Serialize a report to a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent,
+                      sort_keys=True)

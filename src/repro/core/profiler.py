@@ -1,0 +1,259 @@
+"""The Cheetah profiler: PMU samples in, false-sharing report out.
+
+Mirrors the runtime-library architecture of the paper's Figure 2: the
+*data collection* module (the PMU handler installed here) filters samples
+to heap and global addresses and feeds the *FS detection* module; at the
+end of the execution the *FS assessment* module predicts the impact of
+each instance and the *FS report* module keeps only the significant ones.
+
+Typical use::
+
+    profiler = CheetahProfiler()
+    engine = Engine(pmu=PMU(PMUConfig()))
+    profiler.attach(engine)
+    result = engine.run(my_program)
+    report = profiler.finalize(result)
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.assessment import (
+    Assessment,
+    AssessmentConfig,
+    ThreadObservation,
+    assess_object,
+    serial_average,
+)
+from repro.core.detection import DetectorConfig, FalseSharingDetector, SharingKind
+from repro.core.report import ObjectReport, render_report
+from repro.errors import ProfilerError
+from repro.pmu.sample import MemorySample
+from repro.sim.engine import Engine, RunResult
+
+
+@dataclass(frozen=True)
+class CheetahConfig:
+    """End-to-end profiler configuration.
+
+    Attributes:
+        detector: detection thresholds.
+        assessment: assessment parameters.
+        min_improvement: only instances whose predicted improvement is at
+            least this factor are reported as significant (the paper rules
+            out "trivial instances ... leading to little or no performance
+            improvement").
+        report_true_sharing: include true-sharing instances in the full
+            report (they are never in the significant list).
+    """
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
+    min_improvement: float = 1.01
+    report_true_sharing: bool = False
+
+
+@dataclass
+class CheetahReport:
+    """Full output of a profiled run."""
+
+    significant: List[ObjectReport]
+    all_instances: List[ObjectReport]
+    runtime: int
+    fork_join_ok: bool
+    aver_nofs_cycles: float
+    serial_samples: int
+    total_samples: int
+
+    def render(self) -> str:
+        """Text report in the paper's Figure 5 format."""
+        return render_report(self.significant, self.runtime,
+                             self.fork_join_ok)
+
+    def false_sharing_instances(self) -> List[ObjectReport]:
+        return [r for r in self.all_instances if r.is_false_sharing]
+
+    def best(self) -> Optional[ObjectReport]:
+        """The most impactful significant instance, if any."""
+        return self.significant[0] if self.significant else None
+
+
+class CheetahProfiler:
+    """Wires the PMU into detection and assessment.
+
+    The profiler must be :meth:`attach`\\ ed to an engine *before* the run
+    so it can install the sample handler and observe phase state; after
+    ``engine.run`` returns, :meth:`finalize` produces the report.
+    """
+
+    def __init__(self, config: Optional[CheetahConfig] = None):
+        self.config = config or CheetahConfig()
+        self.detector: Optional[FalseSharingDetector] = None
+        self._engine: Optional[Engine] = None
+        # Per-thread sampled totals (Section 3.2: Accesses_t, Cycles_t).
+        self._thread_accesses: Dict[int, int] = {}
+        self._thread_cycles: Dict[int, int] = {}
+        # Serial-phase latency statistics (Section 3.1). Latencies are
+        # retained (bounded) so the estimator can be robust; see
+        # AssessmentConfig.serial_estimator.
+        self._serial_latencies: List[int] = []
+        self._serial_cycles = 0
+        self._total_samples = 0
+        self._filtered_samples = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, engine: Engine) -> None:
+        """Install this profiler's sample handler on the engine's PMU."""
+        if engine.pmu is None:
+            raise ProfilerError(
+                "engine has no PMU; construct it with Engine(pmu=PMU(...))"
+            )
+        if self._engine is not None:
+            raise ProfilerError("profiler is already attached")
+        self._engine = engine
+        self.detector = FalseSharingDetector(
+            self.config.detector,
+            line_size=engine.config.cache_line_size,
+            word_size=engine.config.word_size,
+        )
+        engine.pmu.install_handler(self.handle_sample)
+
+    def handle_sample(self, sample: MemorySample) -> None:
+        """The PMU "signal handler": filter, then feed detection.
+
+        Cheetah "filters out memory accesses associated with heap or
+        globals" from everything else (kernel, libraries, stack); here
+        that means dropping samples outside the heap arena and the globals
+        segment.
+        """
+        engine = self._engine
+        assert engine is not None and self.detector is not None
+        self._total_samples += 1
+        addr = sample.addr
+        if not (engine.allocator.contains(addr)
+                or engine.symbols.contains(addr)):
+            self._filtered_samples += 1
+            return
+        in_parallel = engine.phase_tracker.in_parallel_phase
+        if not in_parallel:
+            if len(self._serial_latencies) < self._SERIAL_CAP:
+                self._serial_latencies.append(sample.latency)
+            self._serial_cycles += sample.latency
+        tid = sample.tid
+        self._thread_accesses[tid] = self._thread_accesses.get(tid, 0) + 1
+        self._thread_cycles[tid] = (
+            self._thread_cycles.get(tid, 0) + sample.latency)
+        self.detector.on_sample(sample, in_parallel)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def finalize(self, result: RunResult) -> CheetahReport:
+        """Assess every detected instance and build the end-of-run report."""
+        if self._engine is None or self.detector is None:
+            raise ProfilerError("profiler was never attached to an engine")
+        return self._build_report(result.threads, result.phases,
+                                  result.runtime)
+
+    def report_now(self, now: Optional[int] = None) -> CheetahReport:
+        """Build a report from the state observed so far, mid-run.
+
+        The paper's Cheetah reports "either at the end of an execution,
+        or when interrupted by the user"; this is the interruption path.
+        Typically invoked from an engine checkpoint::
+
+            engine.add_checkpoint(500_000,
+                                  lambda eng, t: print(
+                                      profiler.report_now(t).render()))
+        """
+        if self._engine is None or self.detector is None:
+            raise ProfilerError("profiler was never attached to an engine")
+        engine = self._engine
+        if now is None:
+            now = max((t.clock for t in engine.threads.values()), default=0)
+        phases = engine.phase_tracker.snapshot(now)
+        return self._build_report(engine.threads, phases, now,
+                                  clock_floor=now)
+
+    def _build_report(self, threads, phases, runtime: int,
+                      clock_floor: Optional[int] = None) -> CheetahReport:
+        engine = self._engine
+        observations = {}
+        for tid, thread in threads.items():
+            if thread.end_clock is not None:
+                rt = thread.runtime
+            else:
+                # Live thread at interruption time: runtime so far.
+                end = clock_floor if clock_floor is not None else thread.clock
+                rt = max(0, min(end, thread.clock) - thread.start_clock)
+            overhead = 0
+            if engine.pmu is not None:
+                overhead = engine.pmu.overhead_by_tid.get(tid, 0)
+            observations[tid] = ThreadObservation(
+                tid=tid,
+                runtime=rt,
+                accesses=self._thread_accesses.get(tid, 0),
+                cycles=self._thread_cycles.get(tid, 0),
+                barrier_waits=getattr(thread, "barrier_waits", 0),
+                profiler_overhead=overhead,
+            )
+        aver_nofs = serial_average(self._serial_latencies,
+                                   self.config.assessment)
+        sampling_period = None
+        if engine.pmu is not None:
+            sampling_period = float(engine.pmu.config.period)
+
+        profiles = self.detector.build_objects(engine.allocator,
+                                               engine.symbols)
+        all_instances: List[ObjectReport] = []
+        for profile in profiles:
+            kind = profile.classify(self.config.detector.true_sharing_fraction)
+            if kind is SharingKind.NO_SHARING:
+                continue
+            assessment = assess_object(profile, observations, phases,
+                                       aver_nofs, self.config.assessment,
+                                       sampling_period=sampling_period)
+            all_instances.append(ObjectReport(profile=profile,
+                                              assessment=assessment,
+                                              kind=kind))
+
+        significant = [
+            r for r in all_instances
+            if r.is_false_sharing
+            and r.assessment.improvement >= self.config.min_improvement
+        ]
+        significant.sort(key=lambda r: r.assessment.improvement, reverse=True)
+        if not self.config.report_true_sharing:
+            visible = [r for r in all_instances if r.is_false_sharing]
+        else:
+            visible = list(all_instances)
+        visible.sort(key=lambda r: r.assessment.improvement, reverse=True)
+
+        return CheetahReport(
+            significant=significant,
+            all_instances=visible,
+            runtime=runtime,
+            fork_join_ok=phases.fork_join_ok,
+            aver_nofs_cycles=aver_nofs,
+            serial_samples=len(self._serial_latencies),
+            total_samples=self._total_samples,
+        )
+
+    # -- introspection helpers (used by tests) ------------------------------------
+
+    _SERIAL_CAP = 100_000
+
+    @property
+    def serial_samples(self) -> int:
+        return len(self._serial_latencies)
+
+    @property
+    def total_samples(self) -> int:
+        return self._total_samples
+
+    @property
+    def filtered_samples(self) -> int:
+        return self._filtered_samples

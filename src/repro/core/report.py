@@ -1,0 +1,117 @@
+"""Report rendering in the paper's format (Figure 5).
+
+The paper's report for linear_regression reads::
+
+    Detecting false sharing at the object: start 0x400004b8
+    end 0x400044b8 (with size 4000).
+    Accesses 1263 invalidations 27f writes 501 total
+    latency 102988 cycles.
+    Latency information:
+    totalThreads 16
+    totalThreadsAccesses 12e1
+    totalThreadsCycles 106389
+    totalPossibleImprovementRate 576.172748%
+    (realRuntime 7738 predictedRuntime 1343).
+    It is a heap object with the following callsite:
+    linear_regression-pthread.c: 139
+
+We reproduce the same fields (including the quirk that invalidations and
+``totalThreadsAccesses`` are printed in hex) plus the word-level access
+map that "helps programmers to decide how to pad a problematic data
+structure".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.assessment import Assessment
+from repro.core.detection import ObjectProfile, SharingKind
+
+
+@dataclass
+class ObjectReport:
+    """One reported sharing instance: profile + assessment + verdict."""
+
+    profile: ObjectProfile
+    assessment: Assessment
+    kind: SharingKind
+
+    @property
+    def is_false_sharing(self) -> bool:
+        return self.kind is SharingKind.FALSE_SHARING
+
+    @property
+    def improvement(self) -> float:
+        return self.assessment.improvement
+
+    def __str__(self) -> str:
+        return render_object(self)
+
+
+def render_object(report: ObjectReport, include_words: bool = True) -> str:
+    """Render one object's report in the Figure 5 format."""
+    p = report.profile
+    a = report.assessment
+    lines: List[str] = []
+    lines.append(
+        f"Detecting {report.kind.value} at the object: start {p.start:#x}"
+    )
+    lines.append(f"end {p.end:#x} (with size {p.size}).")
+    lines.append(
+        f"Accesses {p.accesses} invalidations {p.invalidations:x} "
+        f"writes {p.writes} total"
+    )
+    lines.append(f"latency {p.total_latency} cycles.")
+    lines.append("Latency information:")
+    lines.append(f"totalThreads {len(p.tids)}")
+    total_accesses = sum(p.per_tid_accesses.values())
+    total_cycles = sum(p.per_tid_cycles.values())
+    lines.append(f"totalThreadsAccesses {total_accesses:x}")
+    lines.append(f"totalThreadsCycles {total_cycles}")
+    lines.append(
+        f"totalPossibleImprovementRate {a.improvement_rate_percent:f}%"
+    )
+    lines.append(
+        f"(realRuntime {a.real_runtime} "
+        f"predictedRuntime {int(a.predicted_runtime)})."
+    )
+    if p.kind == "heap":
+        lines.append("It is a heap object with the following callsite:")
+        lines.append(p.label)
+    elif p.kind == "global":
+        lines.append(f"It is the global variable '{p.label}'.")
+    else:
+        lines.append(f"It is an unattributed region: {p.label}.")
+    if include_words and p.word_summary:
+        lines.append("Word-level accesses (offset: threads reads/writes):")
+        for rel_word, info in sorted(p.word_summary.items()):
+            marker = " [shared word]" if info["shared"] else ""
+            tids = ",".join(str(t) for t in info["tids"])
+            lines.append(
+                f"  word {rel_word * 4:+5d}: threads [{tids}] "
+                f"reads {info['reads']} writes {info['writes']}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def render_report(reports: List[ObjectReport], runtime: int,
+                  fork_join_ok: bool = True) -> str:
+    """Render the full end-of-run report."""
+    header = [
+        "=" * 64,
+        "Cheetah false sharing report",
+        f"application runtime: {runtime} cycles",
+        f"fork-join model: {'verified' if fork_join_ok else 'NOT fork-join'}",
+        f"significant instances: {len(reports)}",
+        "=" * 64,
+    ]
+    if not reports:
+        header.append("No significant false sharing detected.")
+        return "\n".join(header)
+    body = []
+    for index, report in enumerate(reports, start=1):
+        body.append(f"--- instance {index} ---")
+        body.append(render_object(report))
+    return "\n".join(header + body)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Cheetah reproduction.
+
+All errors raised by this package derive from :class:`ReproError`, so
+callers can catch one base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live thread is blocked; the program cannot make progress."""
+
+
+class ThreadError(SimulationError):
+    """A thread operation (spawn/join) was used incorrectly."""
+
+
+class AllocationError(ReproError):
+    """The simulated heap could not satisfy a request."""
+
+
+class OutOfMemoryError(AllocationError):
+    """The arena backing the simulated heap is exhausted."""
+
+
+class InvalidFreeError(AllocationError):
+    """``free`` was called with an address that is not a live allocation."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range."""
+
+
+class SymbolError(ReproError):
+    """A global symbol registration or lookup failed."""
+
+
+class ProfilerError(ReproError):
+    """The Cheetah profiler was driven through an illegal transition."""

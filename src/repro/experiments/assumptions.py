@@ -1,0 +1,168 @@
+"""Quantifying the cost of Cheetah's two assumptions (paper Section 2).
+
+Cheetah computes invalidations assuming (1) each thread runs on its own
+core with a private cache, and (2) caches are infinite. The paper argues
+both may cause *over*-reporting — counting invalidations that the real
+machine never performs — and that this is acceptable because it offsets
+sampling losses. This experiment makes the argument quantitative:
+
+- **Oversubscription** (Assumption 1): run the same contended workload
+  with progressively fewer cores. Threads that share a core also share
+  its cache, so ground-truth invalidations fall, while Cheetah's
+  thread-id-based rule keeps counting — the over-reporting ratio grows
+  as cores shrink.
+- **Finite caches** (Assumption 2): with small private caches, lines are
+  evicted between conflicting accesses, so some ground-truth
+  invalidations disappear (the copy was already gone); Cheetah's
+  infinite-cache rule again keeps counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.profiler import CheetahProfiler
+from repro.experiments.runner import format_table
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sampler import PMU, PMUConfig
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.params import MachineConfig
+from repro.symbols.table import SymbolTable
+from repro.workloads.synthetic import SyntheticSharing
+
+
+@dataclass
+class AssumptionRow:
+    label: str
+    ground_truth_invalidations: int
+    cheetah_sampled_invalidations: int
+
+    def overreport_ratio(self, baseline: "AssumptionRow") -> float:
+        """How much Cheetah's (relative) count exceeds ground truth's
+        relative count, both normalized to the unconstrained baseline."""
+        if (baseline.ground_truth_invalidations == 0
+                or baseline.cheetah_sampled_invalidations == 0
+                or self.ground_truth_invalidations == 0):
+            return float("inf")
+        truth_rel = (self.ground_truth_invalidations
+                     / baseline.ground_truth_invalidations)
+        cheetah_rel = (self.cheetah_sampled_invalidations
+                       / baseline.cheetah_sampled_invalidations)
+        return cheetah_rel / truth_rel
+
+
+@dataclass
+class AssumptionsResult:
+    kind: str
+    rows: List[AssumptionRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        baseline = self.rows[0]
+        body = []
+        for row in self.rows:
+            ratio = row.overreport_ratio(baseline)
+            if row is baseline:
+                shown = "-"
+            elif ratio == float("inf"):
+                shown = "inf (no real invalidations remain)"
+            else:
+                shown = f"{ratio:.2f}x"
+            body.append([row.label, row.ground_truth_invalidations,
+                         row.cheetah_sampled_invalidations, shown])
+        return (f"Assumption study — {self.kind}\n"
+                "(paper Section 2: both assumptions may over-report "
+                "invalidations)\n"
+                + format_table(["configuration", "ground truth",
+                                "Cheetah (sampled)", "over-report"],
+                               body))
+
+
+def _contended_program(num_threads: int, scan_lines: int = 0,
+                       iterations: int = 800):
+    """Threads RMW adjacent words of one line; optionally each iteration
+    also scans a private buffer of ``scan_lines`` cache lines (a working
+    set that finite caches cannot hold alongside the contested line)."""
+
+    def worker(api, mine, scan_base, my_scan):
+        for _ in range(iterations):
+            yield from api.loop(mine, 0, 1, read=True, write=True, work=3)
+            if my_scan:
+                yield from api.loop(scan_base, 64, my_scan,
+                                    read=True, write=False, work=1)
+
+    def main(api):
+        region = yield from api.malloc(num_threads * 4,
+                                       callsite="assumptions.py:region")
+        max_scan = scan_lines + 3 * num_threads
+        scans = yield from api.malloc(num_threads * max_scan * 64 + 64,
+                                      callsite="assumptions.py:scans")
+        tids = []
+        for i in range(num_threads):
+            # Stagger scan lengths so RMW bursts do not stay aligned
+            # across threads (real threads drift; perfectly synchronised
+            # bursts would mask the eviction effect).
+            my_scan = (scan_lines + 3 * i) if scan_lines else 0
+            tid = yield from api.spawn(worker, region + i * 4,
+                                       scans + i * max_scan * 64, my_scan)
+            tids.append(tid)
+        yield from api.join_all(tids)
+
+    return main
+
+
+def _run_once(num_threads: int, num_cores: int,
+              capacity_lines: Optional[int], jitter_seed: int = 11,
+              period: int = 16, scan_lines: int = 0) -> AssumptionRow:
+    config = MachineConfig(num_cores=num_cores)
+    machine = Machine(config, jitter_seed=jitter_seed,
+                      capacity_lines=capacity_lines)
+    pmu = PMU(PMUConfig(period=period))
+    engine = Engine(config=config, machine=machine, symbols=SymbolTable(),
+                    pmu=pmu,
+                    allocator=CheetahAllocator(line_size=config.cache_line_size))
+    profiler = CheetahProfiler()
+    profiler.attach(engine)
+    engine.run(_contended_program(num_threads, scan_lines=scan_lines))
+    detector = profiler.detector
+    sampled = sum(d.invalidations for d in detector._detailed.values())
+    truth = machine.directory.total_invalidations()
+    label_cap = (f", {capacity_lines}-line cache" if capacity_lines
+                 else "")
+    return AssumptionRow(
+        label=f"{num_threads} threads / {num_cores} cores{label_cap}",
+        ground_truth_invalidations=truth,
+        cheetah_sampled_invalidations=sampled)
+
+
+def run_oversubscription(num_threads: int = 8,
+                         core_counts: Sequence[int] = (8, 4, 2, 1),
+                         jitter_seed: int = 11) -> AssumptionsResult:
+    """Assumption 1: threads sharing cores -> Cheetah over-reports."""
+    result = AssumptionsResult(kind="oversubscription (Assumption 1)")
+    for cores in core_counts:
+        result.rows.append(_run_once(num_threads, cores, None,
+                                     jitter_seed=jitter_seed))
+    return result
+
+
+def run_finite_cache(num_threads: int = 2,
+                     capacities: Sequence[Optional[int]] = (None, 64, 4, 2),
+                     jitter_seed: int = 11) -> AssumptionsResult:
+    """Assumption 2: finite caches evict lines -> some ground-truth
+    invalidations vanish while Cheetah keeps counting.
+
+    Two threads by default: with many sharers, *some* fresh copy nearly
+    always exists when a write lands, so eviction barely changes the
+    invalidation count — the assumption's cost is largest exactly where
+    sharing is sparsest.
+    """
+    result = AssumptionsResult(kind="finite caches (Assumption 2)")
+    for capacity in capacities:
+        # Each thread's iteration scans a 16-line private buffer, so
+        # small caches evict the contested line between its accesses.
+        result.rows.append(_run_once(num_threads, num_threads, capacity,
+                                     jitter_seed=jitter_seed,
+                                     scan_lines=16))
+    return result

@@ -1,0 +1,65 @@
+"""ASCII bar charts for experiment renders.
+
+The paper's evaluation is mostly bar figures; these helpers render the
+same shapes in plain text so ``render()`` output reads like the figure,
+not just a table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+FULL = "#"
+HALF = "+"
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 44,
+              fmt: str = "{:.2f}", baseline: Optional[float] = None,
+              ) -> str:
+    """Horizontal bars scaled to the max value.
+
+    ``baseline`` draws a marker column at that value (e.g. 1.0 for
+    normalized-runtime charts).
+    """
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    marker_pos = None
+    if baseline is not None and baseline <= peak:
+        marker_pos = int(round(baseline / peak * width))
+    for label, value in rows:
+        length = int(round(value / peak * width))
+        bar = FULL * length
+        if marker_pos is not None and marker_pos <= width:
+            padded = bar.ljust(max(marker_pos + 1, len(bar)))
+            if marker_pos < len(padded):
+                bar = (padded[:marker_pos]
+                       + ("|" if marker_pos >= length else padded[marker_pos])
+                       + padded[marker_pos + 1:]).rstrip()
+        lines.append(f"{label:>{label_width}} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def paired_bar_chart(rows: Sequence[Tuple[str, float, float]],
+                     series: Tuple[str, str], width: int = 44,
+                     fmt: str = "{:.0f}") -> str:
+    """Two bars per row (e.g. expectation vs reality in Figure 1b)."""
+    if not rows:
+        return "(no data)"
+    peak = max(max(a, b) for _, a, b in rows) or 1.0
+    label_width = max(len(label) for label, _, _ in rows)
+    legend = (f"{'':>{label_width}}   {FULL} = {series[0]}, "
+              f"{HALF} = {series[1]}")
+    lines = [legend]
+    for label, first, second in rows:
+        first_len = int(round(first / peak * width))
+        second_len = int(round(second / peak * width))
+        lines.append(f"{label:>{label_width}} | "
+                     f"{FULL * first_len} {fmt.format(first)}")
+        lines.append(f"{'':>{label_width}} | "
+                     f"{HALF * second_len} {fmt.format(second)}")
+    return "\n".join(lines)

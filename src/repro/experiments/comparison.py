@@ -1,0 +1,99 @@
+"""Section 4.2.3: comparison with the state of the art.
+
+Predator instruments every access: it detects the most instances —
+including the Figure 7 trio Cheetah's sampling misses — at ~6x runtime
+overhead. Sheriff (the OS-based approach of Section 6.1) captures
+writes at page granularity for ~20% overhead but cannot see read-write
+false sharing. Cheetah detects the instances that matter at ~7%
+overhead. This experiment runs all three on a representative set and
+tabulates (detected?, overhead) per tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.baselines.predator import PredatorDetector
+from repro.baselines.sheriff import SheriffDetector
+from repro.experiments.runner import format_table, run_workload
+from repro.workloads import get_workload
+
+APPLICATIONS = ("linear_regression", "streamcluster", "histogram",
+                "reverse_index", "word_count")
+
+#: Ground truth from the paper: which applications have false sharing
+#: that each tool reports.
+PAPER_CHEETAH_DETECTS = {"linear_regression", "streamcluster"}
+PAPER_PREDATOR_DETECTS = {"linear_regression", "streamcluster",
+                          "histogram", "reverse_index", "word_count"}
+
+
+@dataclass
+class ComparisonRow:
+    name: str
+    cheetah_detected: bool
+    cheetah_overhead: float
+    predator_detected: bool
+    predator_overhead: float
+    sheriff_detected: bool = False
+    sheriff_overhead: float = 1.0
+
+
+@dataclass
+class ComparisonResult:
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = format_table(
+            ["application", "Cheetah", "ovh", "Predator", "ovh",
+             "Sheriff", "ovh"],
+            [[r.name,
+              "yes" if r.cheetah_detected else "no",
+              f"{r.cheetah_overhead:.2f}x",
+              "yes" if r.predator_detected else "no",
+              f"{r.predator_overhead:.2f}x",
+              "yes" if r.sheriff_detected else "no",
+              f"{r.sheriff_overhead:.2f}x"] for r in self.rows])
+        return ("Section 4.2.3 — Cheetah vs Predator vs Sheriff\n"
+                "(paper: Predator finds the most at ~6x; Sheriff is "
+                "write-write-only at ~1.2x;\nCheetah finds the "
+                "significant ones at ~1.07x)\n" + table)
+
+
+def run(scale: float = 1.0, num_threads: int = 16,
+        jitter_seed: int = 11,
+        predator_min_invalidations: int = 40,
+        applications: Sequence[str] = APPLICATIONS) -> ComparisonResult:
+    """Regenerate the Section 4.2.3 comparison."""
+    result = ComparisonResult()
+    for name in applications:
+        cls = get_workload(name)
+        native = run_workload(cls(num_threads=num_threads, scale=scale),
+                              jitter_seed=jitter_seed)
+        cheetah = run_workload(cls(num_threads=num_threads, scale=scale),
+                               jitter_seed=jitter_seed, with_cheetah=True)
+        assert cheetah.report is not None
+        predator = PredatorDetector(
+            min_invalidations=predator_min_invalidations)
+        predator_run = run_workload(
+            cls(num_threads=num_threads, scale=scale),
+            jitter_seed=jitter_seed, observer=predator)
+        findings = predator.false_sharing_findings(
+            predator_run.result.allocator, predator_run.result.symbols)
+        sheriff = SheriffDetector(min_writes=predator_min_invalidations)
+        sheriff_run = run_workload(
+            cls(num_threads=num_threads, scale=scale),
+            jitter_seed=jitter_seed, observer=sheriff)
+        sheriff_findings = sheriff.false_sharing_findings(
+            sheriff_run.result.allocator, sheriff_run.result.symbols)
+        result.rows.append(ComparisonRow(
+            name=name,
+            cheetah_detected=bool(cheetah.report.significant),
+            cheetah_overhead=cheetah.runtime / native.runtime,
+            predator_detected=bool(findings),
+            predator_overhead=predator_run.runtime / native.runtime,
+            sheriff_detected=bool(sheriff_findings),
+            sheriff_overhead=sheriff_run.runtime / native.runtime,
+        ))
+    return result

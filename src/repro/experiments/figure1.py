@@ -1,0 +1,72 @@
+"""Figure 1(b): the motivating microbenchmark.
+
+``array[index]++`` over adjacent elements, 1/2/4/8 threads. The grey bars
+of the paper's figure are the linear-speedup *expectation*
+(``T(1) / n``); the black bars are *reality*. On the paper's 8-core
+machine reality is ~13x the expectation at 8 threads.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.experiments.runner import DEFAULT_SEEDS, format_table, run_workload
+from repro.workloads.micro import ArrayIncrement
+
+THREAD_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class Figure1Row:
+    threads: int
+    expectation: float  # cycles, T(1)/n
+    reality: float  # cycles, measured
+    slowdown: float  # reality / expectation
+
+
+@dataclass
+class Figure1Result:
+    rows: List[Figure1Row] = field(default_factory=list)
+
+    @property
+    def worst_slowdown(self) -> float:
+        return max(row.slowdown for row in self.rows)
+
+    def render(self) -> str:
+        from repro.experiments.charts import paired_bar_chart
+        table = format_table(
+            ["threads", "expectation(cycles)", "reality(cycles)",
+             "reality/expectation"],
+            [[r.threads, f"{r.expectation:.0f}", f"{r.reality:.0f}",
+              f"{r.slowdown:.1f}x"] for r in self.rows])
+        chart = paired_bar_chart(
+            [(str(r.threads), r.expectation, r.reality)
+             for r in self.rows],
+            series=("expectation", "reality"))
+        return ("Figure 1(b) — false sharing microbenchmark\n"
+                "(paper: ~13x slower than linear-speedup expectation "
+                "at 8 threads)\n" + table + "\n\n" + chart)
+
+
+def run(scale: float = 1.0,
+        seeds: Sequence[int] = DEFAULT_SEEDS,
+        thread_counts: Sequence[int] = THREAD_COUNTS) -> Figure1Result:
+    """Regenerate Figure 1(b)."""
+    result = Figure1Result()
+    base_runtime = None
+    for threads in thread_counts:
+        runtimes = [
+            run_workload(ArrayIncrement(num_threads=threads, scale=scale),
+                         jitter_seed=seed).runtime
+            for seed in seeds
+        ]
+        reality = statistics.mean(runtimes)
+        if base_runtime is None:
+            base_runtime = reality
+        expectation = base_runtime / threads
+        result.rows.append(Figure1Row(
+            threads=threads, expectation=expectation, reality=reality,
+            slowdown=reality / expectation))
+    return result

@@ -1,0 +1,61 @@
+"""Figure 5: Cheetah's report for linear_regression.
+
+The paper's report (16 threads) identifies the ``tid_args`` object
+allocated at linear_regression-pthread.c:139, prints its address range,
+access/invalidation/latency counts and a predicted improvement of
+~5.76x. This experiment regenerates the same report from a profiled run
+and extracts the headline quantities for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.report import ObjectReport
+from repro.experiments.runner import run_workload
+from repro.pmu.sampler import PMUConfig
+from repro.workloads.phoenix import LINEAR_REGRESSION_CALLSITE, LinearRegression
+
+
+@dataclass
+class Figure5Result:
+    report_text: str
+    instance: Optional[ObjectReport]
+    runtime: int
+
+    @property
+    def detected(self) -> bool:
+        return self.instance is not None
+
+    @property
+    def predicted_improvement(self) -> float:
+        return self.instance.improvement if self.instance else float("nan")
+
+    @property
+    def callsite(self) -> str:
+        return self.instance.profile.label if self.instance else ""
+
+    def render(self) -> str:
+        header = ("Figure 5 — Cheetah report for linear_regression "
+                  "(paper: 5.76x predicted improvement,\ncallsite "
+                  f"{LINEAR_REGRESSION_CALLSITE})\n")
+        return header + self.report_text
+
+
+def run(num_threads: int = 16, scale: float = 1.0,
+        jitter_seed: int = 11,
+        pmu_config: Optional[PMUConfig] = None) -> Figure5Result:
+    """Regenerate the Figure 5 report."""
+    outcome = run_workload(
+        LinearRegression(num_threads=num_threads, scale=scale),
+        jitter_seed=jitter_seed, with_cheetah=True, pmu_config=pmu_config)
+    report = outcome.report
+    assert report is not None
+    instance = None
+    for candidate in report.significant:
+        if candidate.profile.label == LINEAR_REGRESSION_CALLSITE:
+            instance = candidate
+            break
+    return Figure5Result(report_text=report.render(), instance=instance,
+                         runtime=outcome.runtime)

@@ -1,0 +1,83 @@
+"""Run the complete evaluation and render one combined report.
+
+``python -m repro experiment all`` (or :func:`run`) regenerates every
+table and figure plus the extension studies, and renders them as a
+single document — the programmatic source of EXPERIMENTS.md's numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    assumptions,
+    comparison,
+    figure1,
+    figure4,
+    figure5,
+    figure7,
+    linesize,
+    scaling,
+    synchronization,
+    table1,
+)
+
+SECTIONS: List[Tuple[str, Callable[[float], object]]] = [
+    ("Figure 1(b) — motivating microbenchmark",
+     lambda scale: figure1.run(scale=scale)),
+    ("Figure 4 — runtime overhead",
+     lambda scale: figure4.run(scale=scale)),
+    ("Figure 5 — linear_regression report",
+     lambda scale: figure5.run(scale=scale)),
+    ("Figure 7 — negligible misses",
+     lambda scale: figure7.run(scale=scale)),
+    ("Table 1 — assessment precision",
+     lambda scale: table1.run(scale=scale)),
+    ("Section 4.2.3 — tool comparison",
+     lambda scale: comparison.run(scale=scale)),
+    ("Assumption 1 — oversubscription",
+     lambda scale: assumptions.run_oversubscription()),
+    ("Assumption 2 — finite caches",
+     lambda scale: assumptions.run_finite_cache()),
+    ("Extension — line-size sensitivity",
+     lambda scale: linesize.run(scale=scale)),
+    ("Extension — thread scaling",
+     lambda scale: scaling.run(scale=min(scale, 0.5))),
+    ("Extension — synchronisation limitation",
+     lambda scale: synchronization.run()),
+]
+
+
+@dataclass
+class FullReport:
+    sections: List[Tuple[str, object, float]] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def render(self) -> str:
+        parts = [
+            "=" * 70,
+            "Cheetah reproduction — full evaluation",
+            f"total wall time: {self.total_seconds:.0f}s",
+            "=" * 70,
+        ]
+        for title, result, seconds in self.sections:
+            parts.append("")
+            parts.append(f"### {title}  [{seconds:.0f}s]")
+            parts.append(result.render())
+        return "\n".join(parts)
+
+
+def run(scale: float = 1.0,
+        progress: Callable[[str], None] = lambda msg: None) -> FullReport:
+    """Run every experiment; ``progress`` is called before each one."""
+    report = FullReport()
+    start = time.time()
+    for title, runner in SECTIONS:
+        progress(title)
+        began = time.time()
+        result = runner(scale)
+        report.sections.append((title, result, time.time() - began))
+    report.total_seconds = time.time() - start
+    return report

@@ -1,0 +1,166 @@
+"""Shared machinery for running (workload, configuration) pairs.
+
+The paper runs each application five times and reports averages
+(Section 4.1); experiments here do the same over deterministic seeds —
+both the machine's timing-jitter seed (run-to-run hardware variation) and
+the PMU's sampling-jitter seed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sampler import PMU, PMUConfig
+from repro.sim.engine import Engine, Observer, RunResult
+from repro.sim.machine import Machine
+from repro.sim.params import MachineConfig
+from repro.symbols.table import SymbolTable
+from repro.workloads.base import Workload
+
+DEFAULT_SEEDS: Tuple[int, ...] = (11, 22, 33)
+
+
+@dataclass
+class RunOutcome:
+    """Result of one workload run, optionally with a Cheetah report."""
+
+    result: RunResult
+    report: Optional[CheetahReport] = None
+
+    @property
+    def runtime(self) -> int:
+        return self.result.runtime
+
+
+def run_workload(workload: Workload, *,
+                 machine_config: Optional[MachineConfig] = None,
+                 jitter_seed: int = 0xC0FFEE,
+                 pmu_config: Optional[PMUConfig] = None,
+                 with_cheetah: bool = False,
+                 cheetah_config: Optional[CheetahConfig] = None,
+                 observer: Optional[Observer] = None) -> RunOutcome:
+    """Run ``workload`` once on a fresh machine.
+
+    ``with_cheetah`` attaches the PMU and the Cheetah profiler;
+    ``observer`` attaches a full-instrumentation tool (Predator baseline).
+    """
+    config = machine_config or MachineConfig()
+    symbols = SymbolTable()
+    workload.setup(symbols)
+    machine = Machine(config, jitter_seed=jitter_seed)
+    pmu = None
+    profiler = None
+    if with_cheetah:
+        pmu = PMU(pmu_config or PMUConfig())
+    engine = Engine(config=config, machine=machine, symbols=symbols,
+                    pmu=pmu, observer=observer,
+                    allocator=CheetahAllocator(line_size=config.cache_line_size))
+    if with_cheetah:
+        profiler = CheetahProfiler(cheetah_config)
+        profiler.attach(engine)
+    result = engine.run(workload.main)
+    report = profiler.finalize(result) if profiler else None
+    return RunOutcome(result=result, report=report)
+
+
+def measure_real_improvement(workload_cls, *, num_threads: int,
+                             scale: float = 1.0,
+                             seeds: Sequence[int] = DEFAULT_SEEDS,
+                             machine_config: Optional[MachineConfig] = None,
+                             ) -> float:
+    """Mean of ``runtime(original) / runtime(fixed)`` over seeds.
+
+    This is the "Real" column of Table 1: the speedup actually obtained
+    by applying the padding fix, measured without any profiling.
+    """
+    ratios = []
+    for seed in seeds:
+        original = run_workload(
+            workload_cls(num_threads=num_threads, scale=scale),
+            jitter_seed=seed, machine_config=machine_config)
+        fixed = run_workload(
+            workload_cls(num_threads=num_threads, scale=scale, fixed=True),
+            jitter_seed=seed, machine_config=machine_config)
+        ratios.append(original.runtime / fixed.runtime)
+    return statistics.mean(ratios)
+
+
+def measure_predicted_improvement(workload_cls, *, num_threads: int,
+                                  scale: float = 1.0,
+                                  seeds: Sequence[int] = DEFAULT_SEEDS,
+                                  pmu_config: Optional[PMUConfig] = None,
+                                  cheetah_config: Optional[CheetahConfig] = None,
+                                  machine_config: Optional[MachineConfig] = None,
+                                  ) -> float:
+    """Mean of Cheetah's predicted improvement over seeds.
+
+    This is the "Predict" column of Table 1: the improvement Cheetah
+    forecasts from a profiled run of the *unfixed* program, using the top
+    reported false sharing instance.
+    """
+    predictions = []
+    for index, seed in enumerate(seeds):
+        base = pmu_config or PMUConfig()
+        pmu = PMUConfig(period=base.period, jitter=base.jitter,
+                        handler_cost=base.handler_cost,
+                        trap_cost=base.trap_cost,
+                        thread_setup_cost=base.thread_setup_cost,
+                        seed=base.seed + index + 1)
+        outcome = run_workload(
+            workload_cls(num_threads=num_threads, scale=scale),
+            jitter_seed=seed, pmu_config=pmu, with_cheetah=True,
+            cheetah_config=cheetah_config, machine_config=machine_config)
+        assert outcome.report is not None
+        best = outcome.report.best()
+        if best is None:
+            # Table 1 evaluates the known instance even when a borderline
+            # prediction falls below the significance cutoff; excluding
+            # those runs would bias the mean upward.
+            instances = outcome.report.false_sharing_instances()
+            best = instances[0] if instances else None
+        if best is not None:
+            predictions.append(best.improvement)
+    if not predictions:
+        return float("nan")
+    return statistics.mean(predictions)
+
+
+def measure_overhead(workload_cls, *, num_threads: Optional[int] = None,
+                     scale: float = 1.0,
+                     seeds: Sequence[int] = DEFAULT_SEEDS,
+                     pmu_config: Optional[PMUConfig] = None,
+                     machine_config: Optional[MachineConfig] = None,
+                     ) -> float:
+    """Mean normalized runtime (profiled / native) over seeds.
+
+    This is one bar of Figure 4: 1.0 means no overhead.
+    """
+    ratios = []
+    for seed in seeds:
+        kwargs = {"scale": scale}
+        if num_threads is not None:
+            kwargs["num_threads"] = num_threads
+        native = run_workload(workload_cls(**kwargs), jitter_seed=seed,
+                              machine_config=machine_config)
+        profiled = run_workload(workload_cls(**kwargs), jitter_seed=seed,
+                                pmu_config=pmu_config, with_cheetah=True,
+                                machine_config=machine_config)
+        ratios.append(profiled.runtime / native.runtime)
+    return statistics.mean(ratios)
+
+
+def format_table(headers: List[str], rows: List[Sequence[object]]) -> str:
+    """Fixed-width text table used by every experiment's render()."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(headers))]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in columns[1:])
+    return "\n".join(lines)

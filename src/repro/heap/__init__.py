@@ -1,0 +1,25 @@
+"""Simulated heap allocators.
+
+Cheetah replaces the default allocator with a custom heap built on Heap
+Layers: a fixed mmap'd arena, power-of-two size classes, and Hoard-style
+per-thread heaps so that two threads never share a cache line across
+*different* objects (Section 2.2). :class:`CheetahAllocator` reproduces
+that design; :class:`BumpAllocator` is the naive shared allocator used as
+a baseline to demonstrate the inter-object false sharing the custom heap
+prevents.
+"""
+
+from repro.heap.allocator import AllocationInfo, CheetahAllocator
+from repro.heap.arena import Arena, GLOBALS_BASE, HEAP_BASE
+from repro.heap.bump import BumpAllocator
+from repro.heap.sizeclass import size_class_of
+
+__all__ = [
+    "AllocationInfo",
+    "Arena",
+    "BumpAllocator",
+    "CheetahAllocator",
+    "GLOBALS_BASE",
+    "HEAP_BASE",
+    "size_class_of",
+]

@@ -1,0 +1,175 @@
+"""Hoard-style per-thread heap with callsite tracking (paper Section 2.2).
+
+Design points reproduced from the paper:
+
+- all memory comes from one pre-allocated arena, so shadow-memory lookups
+  are a bit shift (:meth:`CheetahAllocator.line_index`);
+- objects are rounded to power-of-two size classes;
+- each thread owns its superblocks, so "two objects in the same cache line
+  will never be allocated to two different threads" — inter-object false
+  sharing is impossible by construction (at the cost of not being able to
+  observe problems the *default* allocator would cause; see
+  :class:`repro.heap.bump.BumpAllocator` for that baseline);
+- every allocation records its callsite and requested size, so the
+  reporter can print "a heap object with the following callsite" plus the
+  source line, as in Figure 5.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidFreeError
+from repro.heap.arena import Arena, HEAP_BASE, DEFAULT_ARENA_SIZE
+from repro.heap.sizeclass import size_class_of
+
+SUPERBLOCK_SIZE = 64 * 1024
+
+
+@dataclass
+class AllocationInfo:
+    """Metadata for one heap allocation."""
+
+    addr: int
+    size: int  # size-class size actually reserved
+    requested_size: int
+    tid: int
+    callsite: str
+    serial: int  # monotonically increasing allocation number
+    live: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+    def __str__(self) -> str:
+        return (f"object {self.addr:#x}..{self.end:#x} "
+                f"(size {self.requested_size}) from {self.callsite}")
+
+
+class _SuperBlock:
+    """A thread-private run of one size class, carved from the arena."""
+
+    __slots__ = ("base", "end", "cursor", "size_class")
+
+    def __init__(self, base: int, length: int, size_class: int):
+        self.base = base
+        self.end = base + length
+        self.cursor = base
+        self.size_class = size_class
+
+    def take(self) -> Optional[int]:
+        if self.cursor + self.size_class > self.end:
+            return None
+        addr = self.cursor
+        self.cursor += self.size_class
+        return addr
+
+
+class CheetahAllocator:
+    """Per-thread heap over a fixed arena, with allocation metadata.
+
+    The allocator answers two queries the detector needs:
+
+    - :meth:`find` — which allocation (if any) contains an address, used
+      to attribute falsely-shared cache lines to objects and callsites;
+    - :meth:`line_index` — the shadow-memory index of an address's line.
+    """
+
+    def __init__(self, arena: Optional[Arena] = None, line_size: int = 64):
+        self.arena = arena or Arena(HEAP_BASE, DEFAULT_ARENA_SIZE, line_size)
+        self.line_size = line_size
+        self._blocks: Dict[tuple, _SuperBlock] = {}  # (tid, class) -> block
+        self._free_lists: Dict[tuple, List[int]] = {}
+        self._allocs: Dict[int, AllocationInfo] = {}
+        self._starts: List[int] = []  # sorted live+dead allocation starts
+        self._serial = 0
+        self.total_allocated = 0
+        self.total_freed = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, size: int, tid: int, callsite: str = "<unknown>") -> int:
+        """Allocate ``size`` bytes on behalf of thread ``tid``."""
+        cls = size_class_of(size)
+        key = (tid, cls)
+        free_list = self._free_lists.get(key)
+        if free_list:
+            addr = free_list.pop()
+        else:
+            addr = self._carve(key, cls)
+        self._record(addr, cls, size, tid, callsite)
+        return addr
+
+    def free(self, addr: int, tid: int) -> None:
+        """Release allocation at ``addr``.
+
+        The block returns to the *owning* thread's free list (Hoard-style),
+        so reuse can never hand one line to two threads.
+        """
+        info = self._allocs.get(addr)
+        if info is None or not info.live:
+            raise InvalidFreeError(f"free of unknown or dead address {addr:#x}")
+        info.live = False
+        self._free_lists.setdefault((info.tid, info.size), []).append(addr)
+        self.total_freed += info.size
+
+    def _carve(self, key: tuple, cls: int) -> int:
+        block = self._blocks.get(key)
+        if block is not None:
+            addr = block.take()
+            if addr is not None:
+                return addr
+        length = max(SUPERBLOCK_SIZE, cls)
+        base = self.arena.carve(length, align=max(self.line_size, cls if cls <= 4096 else self.line_size))
+        block = _SuperBlock(base, length, cls)
+        self._blocks[key] = block
+        addr = block.take()
+        assert addr is not None
+        return addr
+
+    def _record(self, addr: int, cls: int, size: int, tid: int,
+                callsite: str) -> None:
+        self._serial += 1
+        info = AllocationInfo(addr=addr, size=cls, requested_size=size,
+                              tid=tid, callsite=callsite, serial=self._serial)
+        if addr not in self._allocs:
+            bisect.insort(self._starts, addr)
+        self._allocs[addr] = info
+        self.total_allocated += cls
+
+    # -- queries ------------------------------------------------------------
+
+    def find(self, addr: int) -> Optional[AllocationInfo]:
+        """The allocation whose range contains ``addr``, if any.
+
+        Dead allocations remain findable (most recent occupant of the
+        address), so post-mortem reports can attribute accesses to objects
+        freed before the report ran.
+        """
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        info = self._allocs[self._starts[idx]]
+        if info.contains(addr):
+            return info
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` is inside the heap arena."""
+        return self.arena.contains(addr)
+
+    def line_index(self, addr: int) -> int:
+        """Shadow-memory line index (bit shift from arena base)."""
+        return self.arena.line_index(addr)
+
+    def live_allocations(self) -> List[AllocationInfo]:
+        return [a for a in self._allocs.values() if a.live]
+
+    def all_allocations(self) -> List[AllocationInfo]:
+        return list(self._allocs.values())

@@ -1,0 +1,69 @@
+"""The mmap-style arena backing the simulated heap.
+
+Cheetah pre-allocates one fixed-size block with ``mmap`` and serves every
+allocation from it, because the shadow-memory technique needs a known,
+contiguous heap range so a cache line's metadata index is a bit shift away
+(Section 2.2). The arena here is pure address arithmetic — no bytes are
+stored — but it preserves exactly those properties: a fixed base, a fixed
+size, bump-carving of superblocks, and O(1) address-to-line indexing.
+
+The default bases echo the paper's report output (Figure 5 shows a heap
+object at 0x400004b8): globals live at 0x10000000 and the heap at
+0x40000000.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError
+
+GLOBALS_BASE = 0x10000000
+HEAP_BASE = 0x40000000
+DEFAULT_ARENA_SIZE = 1 << 30  # 1 GiB of simulated address space
+
+
+class Arena:
+    """A fixed contiguous address range carved by bumping."""
+
+    def __init__(self, base: int = HEAP_BASE, size: int = DEFAULT_ARENA_SIZE,
+                 line_size: int = 64):
+        if base % line_size:
+            raise ValueError("arena base must be cache-line aligned")
+        self.base = base
+        self.size = size
+        self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
+        self._cursor = base
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self.base
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the arena's range."""
+        return self.base <= addr < self.end
+
+    def line_index(self, addr: int) -> int:
+        """Shadow-memory index of the cache line holding ``addr``.
+
+        This is the bit-shift lookup the paper describes: the index of the
+        line relative to the arena base, usable to index a flat metadata
+        array.
+        """
+        return (addr - self.base) >> self._line_shift
+
+    def carve(self, size: int, align: int = 1) -> int:
+        """Reserve ``size`` bytes (aligned to ``align``) and return the base."""
+        addr = self._cursor
+        if align > 1:
+            addr = (addr + align - 1) & ~(align - 1)
+        if addr + size > self.end:
+            raise OutOfMemoryError(
+                f"arena exhausted: need {size} bytes at {addr:#x}, "
+                f"arena ends at {self.end:#x}"
+            )
+        self._cursor = addr + size
+        return addr

@@ -1,0 +1,71 @@
+"""Naive shared bump allocator (default-allocator baseline).
+
+Unlike :class:`repro.heap.allocator.CheetahAllocator`, all threads carve
+from one shared cursor, so consecutive small allocations by *different*
+threads land on the same cache line — the classic source of inter-object
+false sharing that Hoard-style per-thread heaps eliminate. Used by tests
+and the ablation benchmark to demonstrate that design choice.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidFreeError
+from repro.heap.allocator import AllocationInfo
+from repro.heap.arena import Arena, HEAP_BASE, DEFAULT_ARENA_SIZE
+from repro.heap.sizeclass import size_class_of
+
+
+class BumpAllocator:
+    """Shared-cursor allocator: no per-thread segregation, no reuse."""
+
+    def __init__(self, arena: Optional[Arena] = None, line_size: int = 64):
+        self.arena = arena or Arena(HEAP_BASE, DEFAULT_ARENA_SIZE, line_size)
+        self.line_size = line_size
+        self._allocs: Dict[int, AllocationInfo] = {}
+        self._starts: List[int] = []
+        self._serial = 0
+        self.total_allocated = 0
+        self.total_freed = 0
+
+    def allocate(self, size: int, tid: int, callsite: str = "<unknown>") -> int:
+        cls = size_class_of(size)
+        addr = self.arena.carve(cls, align=min(cls, 8))
+        self._serial += 1
+        self._allocs[addr] = AllocationInfo(
+            addr=addr, size=cls, requested_size=size, tid=tid,
+            callsite=callsite, serial=self._serial,
+        )
+        bisect.insort(self._starts, addr)
+        self.total_allocated += cls
+        return addr
+
+    def free(self, addr: int, tid: int) -> None:
+        info = self._allocs.get(addr)
+        if info is None or not info.live:
+            raise InvalidFreeError(f"free of unknown or dead address {addr:#x}")
+        info.live = False
+        self.total_freed += info.size
+
+    def find(self, addr: int) -> Optional[AllocationInfo]:
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        info = self._allocs[self._starts[idx]]
+        if info.contains(addr):
+            return info
+        return None
+
+    def contains(self, addr: int) -> bool:
+        return self.arena.contains(addr)
+
+    def line_index(self, addr: int) -> int:
+        return self.arena.line_index(addr)
+
+    def live_allocations(self) -> List[AllocationInfo]:
+        return [a for a in self._allocs.values() if a.live]
+
+    def all_allocations(self) -> List[AllocationInfo]:
+        return list(self._allocs.values())

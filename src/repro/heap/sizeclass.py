@@ -1,0 +1,29 @@
+"""Power-of-two size classes (paper Section 2.2).
+
+Cheetah "manages objects based on the unit of power of two". Requests are
+rounded up to the next power of two, with a minimum class so that tiny
+objects still occupy a full word.
+"""
+
+from __future__ import annotations
+
+MIN_SIZE_CLASS = 8
+
+
+def size_class_of(size: int) -> int:
+    """Smallest power-of-two class that holds ``size`` bytes.
+
+    >>> size_class_of(1)
+    8
+    >>> size_class_of(8)
+    8
+    >>> size_class_of(9)
+    16
+    >>> size_class_of(4000)
+    4096
+    """
+    if size <= 0:
+        raise ValueError(f"allocation size must be positive, got {size}")
+    if size <= MIN_SIZE_CLASS:
+        return MIN_SIZE_CLASS
+    return 1 << (size - 1).bit_length()

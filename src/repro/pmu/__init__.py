@@ -1,0 +1,6 @@
+"""Simulated performance-monitoring unit (AMD IBS / Intel PEBS analogue)."""
+
+from repro.pmu.sample import MemorySample
+from repro.pmu.sampler import PMU, PMUConfig
+
+__all__ = ["PMU", "PMUConfig", "MemorySample"]

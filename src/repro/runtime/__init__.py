@@ -1,0 +1,12 @@
+"""Simulated threading runtime.
+
+Stands in for pthreads: threads are Python generators driven by the
+discrete-event engine, spawn/join follow the fork-join model the paper's
+assessment assumes, and per-thread clocks play the role of RDTSC
+timestamps.
+"""
+
+from repro.runtime.phases import Phase, PhaseTracker
+from repro.runtime.thread import SimThread, ThreadAPI, ThreadState
+
+__all__ = ["Phase", "PhaseTracker", "SimThread", "ThreadAPI", "ThreadState"]

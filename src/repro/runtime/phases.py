@@ -1,0 +1,139 @@
+"""Fork-join phase tracking (paper Section 3.3, Figure 3).
+
+Cheetah's application-level assessment only supports the fork-join model:
+an application alternates between *serial* phases (only the main thread
+runs) and *parallel* phases (the main thread has live children). The paper
+defines the boundaries precisely:
+
+- an application leaves a serial phase when a thread is created;
+- it leaves a parallel phase when all child threads created in the current
+  phase have been joined.
+
+The tracker records the cycle-time boundaries of every phase (measured on
+the main thread's clock, the RDTSC analogue), which threads ran in each
+parallel phase, and whether the program actually conformed to the
+fork-join model (spawns from non-main threads, i.e. nested parallelism,
+clear the ``fork_join_ok`` flag — Cheetah "tracks the creations and joins
+of threads in order to verify whether an application belongs to the
+fork-join model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+MAIN_TID = 0
+
+
+@dataclass
+class Phase:
+    """One serial or parallel phase of the execution."""
+
+    kind: str  # "serial" or "parallel"
+    start: int
+    end: Optional[int] = None
+    threads: Set[int] = field(default_factory=set)
+
+    @property
+    def length(self) -> int:
+        """Phase length in cycles (0 until the phase is closed)."""
+        if self.end is None:
+            return 0
+        return self.end - self.start
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.kind == "parallel"
+
+
+class PhaseTracker:
+    """Observes spawn/join events and maintains the phase timeline."""
+
+    def __init__(self) -> None:
+        self.phases: List[Phase] = [Phase(kind="serial", start=0)]
+        self.fork_join_ok = True
+        self._live_children: Set[int] = set()
+        self._closed = False
+
+    @property
+    def current(self) -> Phase:
+        return self.phases[-1]
+
+    @property
+    def in_parallel_phase(self) -> bool:
+        """True while at least one child of the current phase is live.
+
+        Cheetah gates its detailed (word-level) recording on this flag so
+        that initialisation by the main thread before the parallel phase
+        is not misclassified as sharing (Section 2.4).
+        """
+        return self.current.is_parallel
+
+    def on_spawn(self, parent_tid: int, child_tid: int, now: int) -> None:
+        """A thread was created at main-thread time ``now``."""
+        if parent_tid != MAIN_TID:
+            # Nested parallelism: outside the supported fork-join model.
+            self.fork_join_ok = False
+            self.current.threads.add(child_tid)
+            self._live_children.add(child_tid)
+            return
+        if not self.current.is_parallel:
+            self._switch(kind="parallel", now=now)
+        self.current.threads.add(child_tid)
+        self._live_children.add(child_tid)
+
+    def on_join(self, parent_tid: int, child_tid: int, now: int) -> None:
+        """A join of ``child_tid`` completed at main-thread time ``now``."""
+        self._live_children.discard(child_tid)
+        if (parent_tid == MAIN_TID and self.current.is_parallel
+                and not self._live_children):
+            self._switch(kind="serial", now=now)
+
+    def finish(self, now: int) -> None:
+        """Close the trailing phase at program end."""
+        if self._closed:
+            return
+        self.current.end = now
+        self._closed = True
+
+    def snapshot(self, now: int) -> "PhaseTracker":
+        """A copy of the tracker as if the program ended at ``now``.
+
+        Used for mid-run reporting ("interrupted by the user"): the open
+        trailing phase is closed at ``now`` in the copy, while this
+        tracker keeps running.
+        """
+        clone = PhaseTracker()
+        clone.phases = [Phase(kind=p.kind, start=p.start, end=p.end,
+                              threads=set(p.threads))
+                        for p in self.phases]
+        clone.fork_join_ok = self.fork_join_ok
+        clone._live_children = set(self._live_children)
+        if clone.phases and clone.phases[-1].end is None:
+            clone.phases[-1].end = now
+        clone._closed = True
+        return clone
+
+    def _switch(self, kind: str, now: int) -> None:
+        self.current.end = now
+        self.phases.append(Phase(kind=kind, start=now))
+
+    # -- queries used by assessment and tests ------------------------------
+
+    def serial_phases(self) -> List[Phase]:
+        return [p for p in self.phases if not p.is_parallel]
+
+    def parallel_phases(self) -> List[Phase]:
+        return [p for p in self.phases if p.is_parallel]
+
+    def phase_of_thread(self, tid: int) -> Optional[Phase]:
+        """The parallel phase in which ``tid`` ran, if any."""
+        for phase in self.phases:
+            if phase.is_parallel and tid in phase.threads:
+                return phase
+        return None
+
+    def total_time(self) -> int:
+        """Sum of all closed phase lengths (== program runtime)."""
+        return sum(p.length for p in self.phases if p.end is not None)

@@ -1,0 +1,182 @@
+"""MESI-style cache-coherence directory.
+
+This is the ground truth the whole reproduction rests on: false sharing is,
+by definition, coherence traffic between cores that access disjoint words
+of one line. The directory tracks, for every cache line ever touched,
+which cores hold a copy and whether one of them holds it dirty, and it
+classifies each access into one of the outcomes priced by
+:class:`repro.sim.params.LatencyModel`.
+
+Capacity is infinite by default (matching the paper's Assumption 2 for the
+*detector*; for the *machine* it simply means we model coherence and cold
+misses, not capacity misses). A finite-capacity per-core LRU mode is
+available for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+# Access outcome tags, consumed by Machine to price latency.
+HIT = "hit"
+SHARED_CLEAN = "shared_clean"
+COHERENCE_READ = "coherence_read"
+COHERENCE_WRITE = "coherence_write"
+UPGRADE = "upgrade"
+COLD = "cold"
+
+
+@dataclass
+class LineState:
+    """Directory state for one cache line.
+
+    ``holders`` is the set of cores with a valid copy; ``dirty_owner`` is
+    the single core holding the line modified, if any (when set, it is the
+    only holder). ``ever_cached`` records whether the line has been fetched
+    before, so a re-fetch after invalidation is priced as a shared-level
+    fetch rather than a cold miss.
+    """
+
+    holders: Set[int] = field(default_factory=set)
+    dirty_owner: Optional[int] = None
+    ever_cached: bool = False
+    invalidations: int = 0
+
+
+class CoherenceDirectory:
+    """Tracks MESI-like per-line sharing state across all cores.
+
+    The directory exposes one operation, :meth:`access`, which mutates the
+    sharing state and returns the outcome tag. It also counts ground-truth
+    invalidation events per line (one event per write that removes the line
+    from at least one other core's cache), which the test-suite and the
+    Predator baseline use to validate Cheetah's sampled estimates.
+    """
+
+    def __init__(self, line_shift: int, capacity_lines: Optional[int] = None):
+        """Create a directory for ``2**line_shift``-byte lines.
+
+        Args:
+            line_shift: log2 of the cache-line size.
+            capacity_lines: if given, each core's private cache holds at
+                most this many lines with LRU replacement; ``None`` means
+                infinite private caches.
+        """
+        self._line_shift = line_shift
+        self._lines: Dict[int, LineState] = {}
+        self._capacity = capacity_lines
+        # Per-core LRU of resident lines; only maintained in finite mode.
+        self._resident: Dict[int, OrderedDict] = {}
+
+    @property
+    def line_shift(self) -> int:
+        return self._line_shift
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def state_of(self, line: int) -> Optional[LineState]:
+        """Directory entry for ``line``, or None if never accessed."""
+        return self._lines.get(line)
+
+    def invalidations_of(self, line: int) -> int:
+        """Ground-truth invalidation count for ``line``."""
+        state = self._lines.get(line)
+        return state.invalidations if state else 0
+
+    def total_invalidations(self) -> int:
+        """Sum of ground-truth invalidations over every line."""
+        return sum(s.invalidations for s in self._lines.values())
+
+    def lines_with_invalidations(self, minimum: int = 1) -> Dict[int, int]:
+        """Map of line -> invalidation count for lines at or above ``minimum``."""
+        return {
+            line: s.invalidations
+            for line, s in self._lines.items()
+            if s.invalidations >= minimum
+        }
+
+    def access(self, core: int, addr: int, is_write: bool) -> str:
+        """Perform one access and return its outcome tag.
+
+        The outcome describes what the access cost: a private hit, a fetch
+        from the shared level, a coherence transfer, an ownership upgrade,
+        or a cold miss.
+        """
+        line = addr >> self._line_shift
+        state = self._lines.get(line)
+        if state is None:
+            state = LineState()
+            self._lines[line] = state
+
+        if is_write:
+            outcome = self._write(core, line, state)
+        else:
+            outcome = self._read(core, line, state)
+        state.ever_cached = True
+        if self._capacity is not None:
+            self._touch_resident(core, line)
+        return outcome
+
+    def _write(self, core: int, line: int, state: LineState) -> str:
+        holders = state.holders
+        if state.dirty_owner == core:
+            # Already exclusive-modified here: pure private hit.
+            return HIT
+        if not holders:
+            state.holders = {core}
+            state.dirty_owner = core
+            return SHARED_CLEAN if state.ever_cached else COLD
+        if holders == {core}:
+            # Exclusive but clean: silent upgrade, still a private hit.
+            state.dirty_owner = core
+            return HIT
+        # Other cores hold the line: this write invalidates their copies.
+        state.invalidations += 1
+        had_copy = core in holders
+        if self._capacity is not None:
+            for other in holders:
+                if other != core:
+                    self._evict_resident(other, line)
+        state.holders = {core}
+        state.dirty_owner = core
+        if had_copy:
+            return UPGRADE
+        return COHERENCE_WRITE
+
+    def _read(self, core: int, line: int, state: LineState) -> str:
+        holders = state.holders
+        if core in holders:
+            return HIT
+        if state.dirty_owner is not None:
+            # A different core holds the line modified: forward + downgrade.
+            state.dirty_owner = None
+            holders.add(core)
+            return COHERENCE_READ
+        holders.add(core)
+        return SHARED_CLEAN if state.ever_cached else COLD
+
+    # -- finite-capacity support -------------------------------------------
+
+    def _touch_resident(self, core: int, line: int) -> None:
+        lru = self._resident.setdefault(core, OrderedDict())
+        lru.pop(line, None)
+        lru[line] = True
+        if len(lru) > self._capacity:
+            victim, _ = lru.popitem(last=False)
+            self._drop(core, victim)
+
+    def _evict_resident(self, core: int, line: int) -> None:
+        lru = self._resident.get(core)
+        if lru is not None:
+            lru.pop(line, None)
+
+    def _drop(self, core: int, line: int) -> None:
+        state = self._lines.get(line)
+        if state is None:
+            return
+        state.holders.discard(core)
+        if state.dirty_owner == core:
+            state.dirty_owner = None

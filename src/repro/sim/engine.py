@@ -1,0 +1,459 @@
+"""Discrete-event engine: interleaves simulated threads by clock.
+
+The engine implements the standard min-clock discipline: the thread with
+the smallest clock always executes next, and it keeps executing until its
+clock passes the next-smallest thread's clock (or it blocks/finishes).
+This yields an exact interleaving of memory accesses across cores — the
+property the cache-invalidation counts, and therefore the whole
+false-sharing phenomenon, depend on — while amortising scheduling cost
+over bursts of accesses.
+
+The engine is also where cross-cutting instrumentation hooks in:
+
+- an optional :class:`~repro.pmu.sampler.PMU` sees every access and every
+  instruction batch, fires samples and charges sampling overhead;
+- an optional *observer* (used by the Predator-style baseline) sees every
+  access and charges a per-access instrumentation cost;
+- the :class:`~repro.runtime.phases.PhaseTracker` is notified of every
+  spawn and join so serial/parallel phases are known at all times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os.path
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, SimulationError, ThreadError
+from repro.heap.allocator import CheetahAllocator
+from repro.runtime.phases import PhaseTracker
+from repro.runtime.thread import SimThread, ThreadAPI, ThreadState, _BurstState
+from repro.sim.machine import Machine
+from repro.sim.ops import (
+    Barrier, Fence, Free, Join, Load, LoopAccess, Malloc, Op, Spawn, Store,
+    Work,
+)
+from repro.sim.params import MachineConfig
+from repro.symbols.table import SymbolTable
+
+_INFINITY = float("inf")
+_CALLSITE_DEPTH = 5  # the paper collects five call-stack entries
+
+
+class Observer:
+    """Interface for full-instrumentation tools (Predator/Sheriff
+    baselines).
+
+    ``cost_per_access`` cycles are charged to the accessing thread for
+    every access — the flat instrumentation overhead the paper's
+    Section 4.2.3 comparison is about. ``on_access`` may additionally
+    return an integer of *extra* cycles to charge for this particular
+    access (page-fault-driven tools like Sheriff charge selectively).
+    """
+
+    cost_per_access: int = 0
+
+    def on_access(self, tid: int, core: int, addr: int, is_write: bool,
+                  latency: int, size: int, line: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def on_thread_start(self, tid: int) -> None:  # pragma: no cover - hook
+        pass
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation exposes.
+
+    ``runtime`` is the main thread's final clock — the program's
+    wall-clock time in cycles. Per-thread objects carry their own clocks
+    and ground-truth access statistics; ``machine`` retains the coherence
+    directory with ground-truth invalidation counts.
+    """
+
+    runtime: int
+    threads: Dict[int, SimThread]
+    phases: PhaseTracker
+    machine: Machine
+    allocator: CheetahAllocator
+    symbols: SymbolTable
+    steps: int
+    return_value: Any = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.threads.values())
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(t.mem_accesses for t in self.threads.values())
+
+    def thread_runtime(self, tid: int) -> int:
+        return self.threads[tid].runtime
+
+
+class Engine:
+    """Runs one simulated program to completion."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 machine: Optional[Machine] = None,
+                 allocator: Optional[CheetahAllocator] = None,
+                 symbols: Optional[SymbolTable] = None,
+                 pmu: Optional[Any] = None,
+                 observer: Optional[Observer] = None,
+                 max_steps: int = 200_000_000):
+        self.config = config or (machine.config if machine else MachineConfig())
+        self.machine = machine or Machine(self.config)
+        self.allocator = allocator or CheetahAllocator(
+            line_size=self.config.cache_line_size)
+        self.symbols = symbols or SymbolTable()
+        self.pmu = pmu
+        self.observer = observer
+        self.phase_tracker = PhaseTracker()
+        self.api = ThreadAPI()
+        self.threads: Dict[int, SimThread] = {}
+        self._tid_counter = itertools.count()
+        self._max_steps = max_steps
+        self._steps = 0
+        self._ran = False
+        # (cycle, callback) checkpoints, fired once when simulated time
+        # first passes the cycle — the "interrupted by the user" hook the
+        # paper's mid-run reporting needs (Section 2.4).
+        self._checkpoints: List[tuple] = []
+        # key -> threads currently waiting at that barrier.
+        self._barriers: Dict[Any, List[SimThread]] = {}
+
+    def add_checkpoint(self, cycle: int,
+                       callback: Callable[["Engine", int], None]) -> None:
+        """Invoke ``callback(engine, now)`` when simulated time passes
+        ``cycle``. Must be registered before :meth:`run`."""
+        if self._ran:
+            raise SimulationError("checkpoints must be added before run()")
+        self._checkpoints.append((cycle, callback))
+        self._checkpoints.sort(key=lambda pair: pair[0])
+
+    # -- program execution ---------------------------------------------------
+
+    def run(self, main_fn: Callable[..., Any], *args: Any) -> RunResult:
+        """Run ``main_fn(api, *args)`` as the main thread until completion."""
+        if self._ran:
+            raise SimulationError("an Engine instance can only run once")
+        self._ran = True
+
+        main = self._create_thread(main_fn, args, parent=None, start_clock=0,
+                                   name="main")
+        ready: List[tuple] = [(main.clock, main.tid)]
+        threads = self.threads
+
+        while ready:
+            clock, tid = heapq.heappop(ready)
+            thread = threads[tid]
+            if thread.state is not ThreadState.RUNNABLE:
+                continue
+            if thread.clock != clock:
+                heapq.heappush(ready, (thread.clock, tid))
+                continue
+            while self._checkpoints and clock >= self._checkpoints[0][0]:
+                _, callback = self._checkpoints.pop(0)
+                callback(self, clock)
+            limit = ready[0][0] if ready else _INFINITY
+            newly_runnable = self._advance(thread, limit)
+            if thread.state is ThreadState.RUNNABLE:
+                heapq.heappush(ready, (thread.clock, tid))
+            for other in newly_runnable:
+                heapq.heappush(ready, (other.clock, other.tid))
+
+        unfinished = [t for t in threads.values()
+                      if t.state is not ThreadState.FINISHED]
+        if unfinished:
+            blocked = ", ".join(repr(t) for t in unfinished)
+            raise DeadlockError(f"threads never finished: {blocked}")
+        if main.end_clock is None:
+            raise SimulationError("main thread has no end clock")
+
+        self.phase_tracker.finish(main.end_clock)
+        return RunResult(
+            runtime=main.end_clock,
+            threads=dict(threads),
+            phases=self.phase_tracker,
+            machine=self.machine,
+            allocator=self.allocator,
+            symbols=self.symbols,
+            steps=self._steps,
+        )
+
+    # -- thread lifecycle ------------------------------------------------------
+
+    def _create_thread(self, fn: Callable[..., Any], args: tuple,
+                       parent: Optional[SimThread], start_clock: int,
+                       name: Optional[str] = None) -> SimThread:
+        tid = next(self._tid_counter)
+        core = tid % self.config.num_cores
+        generator = fn(self.api, *args)
+        if not hasattr(generator, "send"):
+            raise ThreadError(
+                f"thread function {fn!r} must be a generator function "
+                "(use 'yield from api....' inside it)"
+            )
+        thread = SimThread(tid=tid, core=core, generator=generator,
+                           start_clock=start_clock,
+                           parent_tid=parent.tid if parent else None,
+                           name=name or getattr(fn, "__name__", None))
+        self.threads[tid] = thread
+        if self.pmu is not None:
+            thread.clock += self.pmu.on_thread_start(tid)
+        if self.observer is not None:
+            self.observer.on_thread_start(tid)
+        return thread
+
+    def _finish_thread(self, thread: SimThread) -> List[SimThread]:
+        """Mark ``thread`` finished and wake any joiners."""
+        thread.state = ThreadState.FINISHED
+        thread.end_clock = thread.clock
+        woken = []
+        for waiter in thread.join_waiters:
+            self._complete_join(waiter, thread)
+            waiter.state = ThreadState.RUNNABLE
+            woken.append(waiter)
+        thread.join_waiters.clear()
+        return woken
+
+    def _complete_join(self, parent: SimThread, child: SimThread) -> None:
+        assert child.end_clock is not None
+        parent.clock = max(parent.clock, child.end_clock) + self.config.join_cost
+        parent.pending_value = None
+        self.phase_tracker.on_join(parent.tid, child.tid, parent.clock)
+
+    # -- the scheduling quantum -------------------------------------------------
+
+    def _advance(self, thread: SimThread, limit: float) -> List[SimThread]:
+        """Run ``thread`` until its clock passes ``limit`` or it yields
+        control (block/finish). Returns threads made runnable meanwhile."""
+        woken: List[SimThread] = []
+        while thread.clock <= limit:
+            self._steps += 1
+            if self._steps > self._max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self._max_steps}; "
+                    "likely an unbounded workload loop"
+                )
+            if thread.burst is not None:
+                if not self._run_burst(thread, limit):
+                    break  # burst paused at limit; thread stays runnable
+                thread.pending_value = None
+                continue_running = self._resume(thread, woken)
+            else:
+                continue_running = self._resume(thread, woken)
+            if not continue_running:
+                break
+        return woken
+
+    def _resume(self, thread: SimThread, woken: List[SimThread]) -> bool:
+        """Resume the generator one op. Returns False when the thread
+        blocked or finished (caller must stop advancing it)."""
+        try:
+            op = thread.generator.send(thread.pending_value)
+        except StopIteration:
+            woken.extend(self._finish_thread(thread))
+            if thread.parent_tid is None:
+                self._check_leaked_threads(thread)
+            return False
+        thread.pending_value = None
+        return self._dispatch(thread, op, woken)
+
+    def _check_leaked_threads(self, main: SimThread) -> None:
+        live = [t for t in self.threads.values()
+                if t.state is ThreadState.RUNNABLE and t is not main]
+        if live:
+            names = ", ".join(t.name for t in live)
+            raise ThreadError(
+                f"main thread exited while threads are still running: {names}"
+            )
+
+    # -- op dispatch ---------------------------------------------------------------
+
+    def _dispatch(self, thread: SimThread, op: Op,
+                  woken: List[SimThread]) -> bool:
+        if type(op) is Load:
+            self._access(thread, op.addr, False, op.size)
+            return True
+        if type(op) is Store:
+            self._access(thread, op.addr, True, op.size)
+            return True
+        if type(op) is Work:
+            self._do_work(thread, op.cycles)
+            return True
+        if type(op) is LoopAccess:
+            if op.count and op.repeat:
+                thread.burst = _BurstState(op)
+            return True
+        if type(op) is Malloc:
+            callsite = op.callsite or self._capture_callsite(thread)
+            addr = self.allocator.allocate(op.size, tid=thread.tid,
+                                           callsite=callsite)
+            thread.clock += self.config.alloc_cost
+            thread.instructions += 1
+            thread.pending_value = addr
+            return True
+        if type(op) is Free:
+            self.allocator.free(op.addr, tid=thread.tid)
+            thread.clock += self.config.alloc_cost
+            thread.instructions += 1
+            return True
+        if type(op) is Spawn:
+            thread.clock += self.config.spawn_cost
+            child = self._create_thread(op.fn, op.args, parent=thread,
+                                        start_clock=thread.clock,
+                                        name=op.name)
+            self.phase_tracker.on_spawn(thread.tid, child.tid, thread.clock)
+            woken.append(child)
+            thread.pending_value = child.tid
+            return True
+        if type(op) is Join:
+            return self._do_join(thread, op.tid)
+        if type(op) is Fence:
+            thread.clock += 1
+            thread.instructions += 1
+            return True
+        if type(op) is Barrier:
+            return self._do_barrier(thread, op, woken)
+        raise SimulationError(f"thread {thread.tid} yielded unknown op {op!r}")
+
+    #: Cycles charged per barrier crossing (futex wake analogue).
+    BARRIER_COST = 50
+
+    def _do_barrier(self, thread: SimThread, op: Barrier,
+                    woken: List[SimThread]) -> bool:
+        waiting = self._barriers.setdefault(op.key, [])
+        for earlier in waiting:
+            if earlier.tid == thread.tid:
+                raise ThreadError(
+                    f"thread {thread.tid} re-entered barrier {op.key!r} "
+                    "it is already waiting on")
+        waiting.append(thread)
+        if len(waiting) < op.parties:
+            thread.state = ThreadState.BLOCKED
+            return False
+        # Last arrival: release the whole round together.
+        release = max(t.clock for t in waiting) + self.BARRIER_COST
+        del self._barriers[op.key]
+        for waiter in waiting:
+            waiter.barrier_waits += release - self.BARRIER_COST - waiter.clock
+            waiter.clock = release
+            if waiter is not thread:
+                waiter.state = ThreadState.RUNNABLE
+                waiter.pending_value = None
+                woken.append(waiter)
+        return True
+
+    def _do_join(self, thread: SimThread, target_tid: int) -> bool:
+        target = self.threads.get(target_tid)
+        if target is None:
+            raise ThreadError(f"join of unknown thread {target_tid}")
+        if target is thread:
+            raise ThreadError(f"thread {thread.tid} cannot join itself")
+        if target.state is ThreadState.FINISHED:
+            self._complete_join(thread, target)
+            return True
+        thread.state = ThreadState.BLOCKED
+        target.join_waiters.append(thread)
+        return False
+
+    def _do_work(self, thread: SimThread, cycles: int) -> None:
+        thread.clock += cycles
+        thread.instructions += cycles
+        if self.pmu is not None:
+            extra = self.pmu.on_work(thread.tid, cycles)
+            if extra:
+                thread.clock += extra
+
+    # -- memory accesses --------------------------------------------------------
+
+    def _access(self, thread: SimThread, addr: int, is_write: bool,
+                size: int) -> None:
+        outcome = self.machine.access(thread.core, addr, is_write,
+                                      thread.clock)
+        latency = outcome.latency
+        thread.clock += latency
+        thread.instructions += 1
+        thread.mem_accesses += 1
+        thread.mem_cycles += latency
+        observer = self.observer
+        if observer is not None:
+            extra = observer.on_access(thread.tid, thread.core, addr,
+                                       is_write, latency, size,
+                                       outcome.line)
+            thread.clock += observer.cost_per_access
+            if extra:
+                thread.clock += extra
+        pmu = self.pmu
+        if pmu is not None:
+            extra = pmu.on_access(thread.tid, thread.core, addr, is_write,
+                                  latency, size, thread.clock)
+            if extra:
+                thread.clock += extra
+
+    def _run_burst(self, thread: SimThread, limit: float) -> bool:
+        """Execute burst iterations until the clock passes ``limit``.
+
+        Returns True when the burst completed (the generator should be
+        resumed), False when it paused because the thread overran its
+        scheduling quantum.
+        """
+        burst = thread.burst
+        assert burst is not None
+        op = burst.op
+        word = self.config.word_size
+        while thread.clock <= limit:
+            if burst.index >= op.count:
+                burst.index = 0
+                burst.repeat += 1
+            if burst.repeat >= op.repeat:
+                thread.burst = None
+                return True
+            addr = op.base + burst.index * op.stride
+            self._steps += 1
+            if op.read:
+                self._access(thread, addr, False, word)
+            if op.write:
+                self._access(thread, addr, True, word)
+            if op.work:
+                self._do_work(thread, op.work)
+            burst.index += 1
+        # Completed exactly at the boundary?
+        if burst.index >= op.count and burst.repeat + 1 >= op.repeat:
+            thread.burst = None
+            return True
+        return False
+
+    # -- callsite capture ----------------------------------------------------------
+
+    def _capture_callsite(self, thread: SimThread) -> str:
+        """Walk the thread's suspended generator frames for a callsite.
+
+        Mirrors Cheetah's frame-pointer walk: it collects up to five
+        entries and reports the innermost workload frame (the paper prints
+        e.g. ``linear_regression-pthread.c: 139``).
+        """
+        frames = []
+        generator = thread.generator
+        depth = 0
+        while generator is not None and depth < _CALLSITE_DEPTH:
+            frame = getattr(generator, "gi_frame", None)
+            if frame is None:
+                break
+            filename = os.path.basename(frame.f_code.co_filename)
+            frames.append(f"{filename}:{frame.f_lineno}")
+            generator = getattr(generator, "gi_yieldfrom", None)
+            depth += 1
+        if not frames:
+            return "<unknown>"
+        # The innermost workload frame (the deepest one that is not the
+        # ThreadAPI helper in thread.py) is the allocation site.
+        for entry in reversed(frames):
+            if not entry.startswith("thread.py:"):
+                return entry
+        return frames[-1]

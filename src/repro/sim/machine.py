@@ -1,0 +1,162 @@
+"""The machine facade: maps accesses to latencies via the coherence model.
+
+A :class:`Machine` owns the coherence directory and the latency model and
+is the single point through which every simulated memory access flows. It
+returns an :class:`AccessOutcome` carrying the latency in cycles, which the
+engine charges to the accessing thread's clock — and which the simulated
+PMU later reports as the sample latency, exactly the signal Cheetah's
+assessment model consumes (Observation 2 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim import coherence
+from repro.sim.coherence import CoherenceDirectory
+from repro.sim.params import MachineConfig
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one memory access."""
+
+    latency: int
+    kind: str
+    line: int
+
+    @property
+    def is_coherence_miss(self) -> bool:
+        """True when the access paid a cross-core coherence penalty."""
+        return self.kind in (
+            coherence.COHERENCE_READ,
+            coherence.COHERENCE_WRITE,
+            coherence.UPGRADE,
+        )
+
+
+PREFETCHED = "prefetched"
+
+# Outcomes a stride prefetcher can hide: plain data fetches. Coherence
+# transfers (the false-sharing penalty) are never prefetchable — an
+# invalidated line must be re-fetched on demand.
+_PREFETCHABLE = (coherence.COLD, coherence.SHARED_CLEAN)
+
+_COHERENCE_KINDS = (
+    coherence.COHERENCE_READ,
+    coherence.COHERENCE_WRITE,
+    coherence.UPGRADE,
+)
+
+# Per-core window of recently fetched lines the prefetcher matches against.
+_PREFETCH_WINDOW = 8
+
+
+class Machine:
+    """Simulated multicore machine: cores + coherent private caches.
+
+    The machine is intentionally timing-only: no byte contents are stored,
+    because false-sharing behaviour depends solely on *which* addresses are
+    touched, by whom, and in what order.
+
+    A simple per-core stride prefetcher is modelled: a cold or shared
+    fetch whose predecessor line was recently touched by the same core is
+    charged the (cheap) ``prefetched`` latency. This mirrors real
+    hardware, where sequential input-reading phases run at near-hit
+    latency — important for Cheetah's assessment, which approximates the
+    no-false-sharing latency with the serial-phase average.
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 capacity_lines: Optional[int] = None,
+                 prefetcher: bool = True,
+                 timing_jitter: int = 2,
+                 jitter_seed: int = 0xC0FFEE,
+                 transfer_window: int = 0):
+        self.config = config or MachineConfig()
+        self.directory = CoherenceDirectory(
+            self.config.line_shift, capacity_lines=capacity_lines
+        )
+        lat = self.config.latency
+        self._costs: Dict[str, int] = {
+            coherence.HIT: lat.l1_hit,
+            coherence.SHARED_CLEAN: lat.shared_clean,
+            coherence.COHERENCE_READ: lat.coherence_read,
+            coherence.COHERENCE_WRITE: lat.coherence_write,
+            coherence.UPGRADE: lat.upgrade,
+            coherence.COLD: lat.cold,
+            PREFETCHED: lat.prefetched,
+        }
+        self._prefetcher = prefetcher
+        self._recent_lines: Dict[int, Dict[int, None]] = {}
+        # Per-access timing noise (queueing, DRAM refresh, OoO windows):
+        # a cheap xorshift stream adding 0..timing_jitter cycles. Without
+        # it, identical threads stay in deterministic lockstep and either
+        # resonate into conflict-on-every-access or drift into artificial
+        # silence — neither happens on real machines.
+        self._jitter = timing_jitter
+        self._jitter_state = jitter_seed or 1
+        # Coherence transfers serialize at the directory: after a line
+        # moves to a new owner, contending requests from other cores queue
+        # until the in-flight transfer (plus a short ownership window)
+        # completes. Without this, two threads hammering one line
+        # alternate per *access* instead of per *burst* — a lockstep
+        # artifact real machines do not exhibit.
+        self._transfer_window = transfer_window
+        self._pin_until: Dict[int, int] = {}
+        self.total_accesses = 0
+        self.total_cycles = 0
+        self.prefetch_hits = 0
+        self.stall_cycles = 0
+
+    def access(self, core: int, addr: int, is_write: bool,
+               now: int = 0) -> AccessOutcome:
+        """Perform one access by ``core`` at time ``now``; returns outcome.
+
+        ``now`` (the accessing thread's clock) only matters for contended
+        lines: a coherence transfer that races an in-flight transfer of
+        the same line stalls until the earlier one completes.
+        """
+        line = addr >> self.config.line_shift
+        kind = self.directory.access(core, addr, is_write)
+        if self._prefetcher and kind in _PREFETCHABLE:
+            recent = self._recent_lines.get(core)
+            if recent is None:
+                recent = {}
+                self._recent_lines[core] = recent
+            if line - 1 in recent or line in recent:
+                kind = PREFETCHED
+                self.prefetch_hits += 1
+            recent.pop(line, None)
+            recent[line] = None
+            if len(recent) > _PREFETCH_WINDOW:
+                del recent[next(iter(recent))]
+        latency = self._costs[kind]
+        if self._jitter:
+            state = self._jitter_state
+            state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+            state ^= state >> 7
+            state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+            self._jitter_state = state
+            latency += state % (self._jitter + 1)
+        if kind in _COHERENCE_KINDS:
+            pinned = self._pin_until.get(line, 0)
+            if pinned > now:
+                stall = pinned - now
+                latency += stall
+                self.stall_cycles += stall
+            self._pin_until[line] = now + latency + self._transfer_window
+        self.total_accesses += 1
+        self.total_cycles += latency
+        return AccessOutcome(latency=latency, kind=kind, line=line)
+
+    def latency_of(self, kind: str) -> int:
+        """Cycle cost of an outcome tag (exposed for tests and baselines)."""
+        return self._costs[kind]
+
+    def average_latency(self) -> float:
+        """Mean latency over all accesses so far (0.0 before any access)."""
+        if not self.total_accesses:
+            return 0.0
+        return self.total_cycles / self.total_accesses

@@ -1,0 +1,123 @@
+"""Machine configuration and the cycle-latency model.
+
+The latency model assigns a cycle cost to every memory-access outcome the
+coherence directory can produce. The defaults are loosely calibrated to the
+paper's AMD Opteron testbed (1.6 GHz, private L1/L2, shared L3): an L1 hit
+costs a few cycles, a fetch from the shared level tens of cycles, a
+coherence miss (the false-sharing penalty) on the order of a hundred
+cycles, and a cold fetch from memory a couple of hundred cycles.
+
+Only the *ratios* between these costs matter for reproducing the paper's
+shapes; absolute values are in simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycle costs per memory-access outcome.
+
+    Attributes:
+        l1_hit: access served by the core's private cache.
+        shared_clean: line fetched from the shared cache (another core holds
+            it clean, or it was recently evicted there).
+        coherence_read: read of a line that another core has modified; the
+            dirty line must be forwarded/downgraded.
+        coherence_write: write to a line present in other cores' caches;
+            their copies must be invalidated and the line transferred.
+        upgrade: write by a core that already holds the line shared;
+            other sharers are invalidated but no data transfer is needed.
+        cold: first-touch fetch from main memory.
+        prefetched: a cold or shared fetch hidden by the stride
+            prefetcher (sequential streams); modern cores hide most
+            sequential misses this way, which is why serial input-reading
+            phases run at near-hit latency on real hardware.
+    """
+
+    l1_hit: int = 3
+    shared_clean: int = 30
+    coherence_read: int = 55
+    coherence_write: int = 65
+    upgrade: int = 45
+    cold: int = 150
+    prefetched: int = 5
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if any cost is non-positive or
+        the ordering between costs is physically implausible."""
+        costs = {
+            "l1_hit": self.l1_hit,
+            "shared_clean": self.shared_clean,
+            "coherence_read": self.coherence_read,
+            "coherence_write": self.coherence_write,
+            "upgrade": self.upgrade,
+            "cold": self.cold,
+            "prefetched": self.prefetched,
+        }
+        for name, value in costs.items():
+            if value <= 0:
+                raise ConfigError(f"latency {name} must be positive, got {value}")
+        if self.l1_hit >= self.shared_clean:
+            raise ConfigError("l1_hit latency must be below shared_clean latency")
+        if self.shared_clean >= self.coherence_write:
+            raise ConfigError(
+                "shared_clean latency must be below coherence_write latency"
+            )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated machine.
+
+    Attributes:
+        num_cores: number of physical cores. Threads are bound round-robin
+            to cores (the paper binds threads to cores on its NUMA testbed).
+        cache_line_size: cache-line size in bytes; must be a power of two.
+            The paper's machine uses 64-byte lines; the streamcluster case
+            study hinges on code that assumed 32-byte lines.
+        word_size: granularity of Cheetah's word-level shadow tracking.
+        latency: the cycle-cost model.
+        spawn_cost: cycles charged to a parent thread per thread creation
+            (pthread_create analogue).
+        join_cost: cycles charged to a parent thread per join.
+        alloc_cost: cycles charged for a malloc/free call.
+    """
+
+    num_cores: int = 48
+    cache_line_size: int = 64
+    word_size: int = 4
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    spawn_cost: int = 500
+    join_cost: int = 200
+    alloc_cost: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.cache_line_size < self.word_size:
+            raise ConfigError("cache_line_size must be >= word_size")
+        if self.cache_line_size & (self.cache_line_size - 1):
+            raise ConfigError(
+                f"cache_line_size must be a power of two, got {self.cache_line_size}"
+            )
+        if self.word_size & (self.word_size - 1) or self.word_size <= 0:
+            raise ConfigError(f"word_size must be a power of two, got {self.word_size}")
+        self.latency.validate()
+
+    @property
+    def line_shift(self) -> int:
+        """log2 of the cache-line size, for address-to-line bit shifting."""
+        return self.cache_line_size.bit_length() - 1
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line index containing ``addr``."""
+        return addr >> self.line_shift
+
+    def word_of(self, addr: int) -> int:
+        """Word index (within the whole address space) containing ``addr``."""
+        return addr // self.word_size

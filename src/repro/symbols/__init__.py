@@ -1,0 +1,5 @@
+"""Global-variable symbol table (ELF symbol-table analogue)."""
+
+from repro.symbols.table import GlobalSymbol, SymbolTable
+
+__all__ = ["GlobalSymbol", "SymbolTable"]

@@ -1,0 +1,102 @@
+"""Symbol table for simulated global variables.
+
+Cheetah reports falsely-shared *globals* by "searching through the symbol
+table in the binary executable" for names and addresses (Section 2.4).
+Workloads declare their globals here before running; the table assigns
+addresses from a dedicated globals segment (distinct from the heap arena)
+and supports reverse lookup from any address inside a symbol.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SymbolError
+from repro.heap.arena import GLOBALS_BASE
+
+GLOBALS_SEGMENT_SIZE = 1 << 26  # 64 MiB of simulated globals
+
+
+@dataclass(frozen=True)
+class GlobalSymbol:
+    """One global variable: name, base address and size."""
+
+    name: str
+    addr: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+    def __str__(self) -> str:
+        return f"global '{self.name}' at {self.addr:#x} (size {self.size})"
+
+
+class SymbolTable:
+    """Registry of global variables with address assignment."""
+
+    def __init__(self, base: int = GLOBALS_BASE,
+                 size: int = GLOBALS_SEGMENT_SIZE, align: int = 8):
+        self.base = base
+        self.size = size
+        self._default_align = align
+        self._cursor = base
+        self._by_name = {}
+        self._starts: List[int] = []
+        self._by_start = {}
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def define(self, name: str, size: int, align: Optional[int] = None) -> int:
+        """Define global ``name`` of ``size`` bytes; returns its address.
+
+        Globals are laid out in definition order, so two small globals can
+        share a cache line — exactly the layout hazard that causes false
+        sharing among globals in real binaries.
+        """
+        if name in self._by_name:
+            raise SymbolError(f"global '{name}' is already defined")
+        if size <= 0:
+            raise SymbolError(f"global '{name}' must have positive size")
+        alignment = align or self._default_align
+        addr = (self._cursor + alignment - 1) & ~(alignment - 1)
+        if addr + size > self.end:
+            raise SymbolError("globals segment exhausted")
+        self._cursor = addr + size
+        symbol = GlobalSymbol(name=name, addr=addr, size=size)
+        self._by_name[name] = symbol
+        bisect.insort(self._starts, addr)
+        self._by_start[addr] = symbol
+        return addr
+
+    def lookup(self, name: str) -> GlobalSymbol:
+        """Symbol by name; raises :class:`SymbolError` if undefined."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SymbolError(f"unknown global '{name}'") from None
+
+    def find(self, addr: int) -> Optional[GlobalSymbol]:
+        """The symbol whose range contains ``addr``, if any."""
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        symbol = self._by_start[self._starts[idx]]
+        if symbol.contains(addr):
+            return symbol
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the globals segment."""
+        return self.base <= addr < self.end
+
+    def symbols(self) -> List[GlobalSymbol]:
+        return [self._by_start[s] for s in self._starts]

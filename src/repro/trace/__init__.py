@@ -1,0 +1,30 @@
+"""Access-trace recording, storage and replay.
+
+Several tools in the paper's related-work section are *offline*: DARWIN
+collects coherence events in a first round and analyses accesses in a
+second; simulation-based detectors analyse full traces. This package
+provides that infrastructure for the reproduction:
+
+- :class:`~repro.trace.recorder.TraceRecorder` — an engine observer that
+  captures every access of a run;
+- :func:`~repro.trace.storage.save_trace` /
+  :func:`~repro.trace.storage.load_trace` — compact on-disk format;
+- :func:`~repro.trace.replay.downsample` — PMU-style 1/N sampling over a
+  trace;
+- :func:`~repro.trace.replay.replay_into_detector` — drive any detector
+  from a stored trace, enabling deterministic offline analysis and
+  detector A/B comparisons on identical access streams.
+"""
+
+from repro.trace.recorder import TraceRecord, TraceRecorder
+from repro.trace.replay import downsample, replay_into_detector
+from repro.trace.storage import load_trace, save_trace
+
+__all__ = [
+    "TraceRecord",
+    "TraceRecorder",
+    "downsample",
+    "load_trace",
+    "replay_into_detector",
+    "save_trace",
+]

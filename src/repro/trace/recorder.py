@@ -1,0 +1,58 @@
+"""Recording full access traces from a simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.engine import Observer
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded memory access."""
+
+    index: int  # global access sequence number (interleaving order)
+    tid: int
+    core: int
+    addr: int
+    is_write: bool
+    latency: int
+    size: int
+
+
+class TraceRecorder(Observer):
+    """Engine observer that records every access in interleaving order.
+
+    ``cost_per_access`` defaults to zero so that recording does not
+    perturb the timing of the traced run (a "magic" tracer); set it to a
+    positive value to model a real tracing tool's overhead.
+
+    ``limit`` bounds memory use; recording stops silently once reached
+    (``truncated`` tells you whether it did).
+    """
+
+    def __init__(self, cost_per_access: int = 0,
+                 limit: Optional[int] = None):
+        self.cost_per_access = cost_per_access
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.truncated = False
+        self._counter = 0
+
+    def on_access(self, tid: int, core: int, addr: int, is_write: bool,
+                  latency: int, size: int, line: int) -> None:
+        index = self._counter
+        self._counter += 1
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.truncated = True
+            return
+        self.records.append(TraceRecord(
+            index=index, tid=tid, core=core, addr=addr,
+            is_write=is_write, latency=latency, size=size))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,57 @@
+"""Replaying traces into detectors (offline, DARWIN-style analysis)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional
+
+from repro.core.detection import FalseSharingDetector
+from repro.pmu.sample import MemorySample
+from repro.trace.recorder import TraceRecord
+
+
+def downsample(records: Iterable[TraceRecord], period: int,
+               jitter: float = 0.25, seed: int = 1,
+               ) -> Iterator[TraceRecord]:
+    """Keep roughly one of every ``period`` records, PMU-style.
+
+    Downsampling a full trace reproduces what the online PMU would have
+    delivered — useful for studying sampling effects offline on a single
+    recorded run instead of re-simulating.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    rng = random.Random(seed)
+    spread = int(period * jitter)
+    countdown = period + (rng.randint(-spread, spread) if spread else 0)
+    for record in records:
+        countdown -= 1
+        if countdown <= 0:
+            countdown = period + (rng.randint(-spread, spread)
+                                  if spread else 0)
+            yield record
+
+
+def replay_into_detector(records: Iterable[TraceRecord],
+                         detector: FalseSharingDetector,
+                         in_parallel: bool = True,
+                         serial_tids: Optional[set] = None) -> int:
+    """Feed trace records into a detector as if they were PMU samples.
+
+    ``serial_tids``: tids whose accesses are treated as serial-phase
+    (word detail gated), typically ``{0}`` for the main thread when the
+    trace covers the whole run.
+
+    Returns the number of records replayed.
+    """
+    count = 0
+    for r in records:
+        sample = MemorySample(tid=r.tid, core=r.core, addr=r.addr,
+                              is_write=r.is_write, latency=r.latency,
+                              size=r.size, timestamp=r.index)
+        parallel = in_parallel
+        if serial_tids is not None and r.tid in serial_tids:
+            parallel = False
+        detector.on_sample(sample, parallel)
+        count += 1
+    return count

@@ -1,0 +1,75 @@
+"""On-disk trace format.
+
+One access per line, whitespace-separated, with a versioned header::
+
+    #repro-trace v1
+    <index> <tid> <core> <addr-hex> <R|W> <latency> <size>
+
+Plain text compresses well and is diffable; traces at simulation scale
+are at most a few hundred thousand lines.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import ReproError
+from repro.trace.recorder import TraceRecord
+
+HEADER = "#repro-trace v1"
+
+
+class TraceFormatError(ReproError):
+    """The trace file is malformed or has an unsupported version."""
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace(records: Iterable[TraceRecord],
+               path: Union[str, Path]) -> int:
+    """Write records to ``path`` (gzipped when it ends in .gz).
+
+    Returns the number of records written.
+    """
+    count = 0
+    with _open(path, "w") as fh:
+        fh.write(HEADER + "\n")
+        for r in records:
+            fh.write(f"{r.index} {r.tid} {r.core} {r.addr:x} "
+                     f"{'W' if r.is_write else 'R'} {r.latency} "
+                     f"{r.size}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Yield records from a trace file written by :func:`save_trace`."""
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != HEADER:
+            raise TraceFormatError(
+                f"bad trace header {header!r} (expected {HEADER!r})")
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 7:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected 7 fields, got {len(parts)}")
+            try:
+                yield TraceRecord(
+                    index=int(parts[0]), tid=int(parts[1]),
+                    core=int(parts[2]), addr=int(parts[3], 16),
+                    is_write=parts[4] == "W", latency=int(parts[5]),
+                    size=int(parts[6]))
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: {exc}") from exc

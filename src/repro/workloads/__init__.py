@@ -1,0 +1,59 @@
+"""Synthetic Phoenix / PARSEC workloads (paper Section 4, Figure 4).
+
+The paper evaluates on two suites; each synthetic workload here
+reproduces the documented *memory sharing pattern* of its namesake —
+which is all the evaluation depends on — including the three documented
+false sharing bugs:
+
+- ``linear_regression`` (Phoenix): severe intra-object false sharing on
+  the per-thread argument structs (Figure 5/6, 5.7x after fixing);
+- ``streamcluster`` (PARSEC): padding computed with an assumed 32-byte
+  cache line, half the machine's 64 bytes (Section 4.2.2, ~1.02x);
+- ``histogram``/``reverse_index``/``word_count`` (Phoenix): real but
+  negligible false sharing (<0.2% on the paper's runs) that Predator
+  reports and Cheetah deliberately misses (Figure 7).
+
+Every workload supports ``fixed=True`` (the padded/fixed layout) so the
+*real* improvement of fixing can be measured as
+``runtime(unfixed) / runtime(fixed)``.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    all_workload_names,
+    get_workload,
+    register,
+)
+from repro.workloads import micro, parsec, phoenix, synthetic  # noqa: F401
+from repro.workloads.micro import ArrayIncrement
+from repro.workloads.synthetic import SyntheticSharing
+
+PHOENIX_NAMES = [
+    "histogram", "kmeans", "linear_regression", "matrix_multiply",
+    "pca", "string_match", "reverse_index", "word_count",
+]
+
+PARSEC_NAMES = [
+    "blackscholes", "bodytrack", "canneal", "facesim", "fluidanimate",
+    "freqmine", "streamcluster", "swaptions", "x264",
+]
+
+# The 17 applications of Figure 4, in the figure's display order.
+FIGURE4_NAMES = [
+    "blackscholes", "bodytrack", "canneal", "facesim", "fluidanimate",
+    "freqmine", "histogram", "kmeans", "linear_regression",
+    "matrix_multiply", "pca", "string_match", "reverse_index",
+    "streamcluster", "swaptions", "word_count", "x264",
+]
+
+__all__ = [
+    "ArrayIncrement",
+    "SyntheticSharing",
+    "FIGURE4_NAMES",
+    "PARSEC_NAMES",
+    "PHOENIX_NAMES",
+    "Workload",
+    "all_workload_names",
+    "get_workload",
+    "register",
+]

@@ -1,0 +1,121 @@
+"""Workload base class and registry.
+
+A workload bundles: global-variable declarations (:meth:`Workload.setup`),
+a fork-join ``main`` generator (:meth:`Workload.main`), and a ``fixed``
+switch selecting the padded layout that eliminates its false sharing (if
+it has any). The ``scale`` knob multiplies iteration counts so tests can
+run small while benchmarks run at full size.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.errors import ConfigError
+from repro.symbols.table import SymbolTable
+
+_REGISTRY: Dict[str, Type["Workload"]] = {}
+
+
+def register(cls: Type["Workload"]) -> Type["Workload"]:
+    """Class decorator adding a workload to the global registry."""
+    name = cls.name
+    if not name:
+        raise ConfigError(f"workload class {cls.__name__} has no name")
+    if name in _REGISTRY:
+        raise ConfigError(f"duplicate workload name '{name}'")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_workload(name: str) -> Type["Workload"]:
+    """Workload class by name; raises :class:`ConfigError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown workload '{name}' (known: {known})") from None
+
+
+def all_workload_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+class Workload(abc.ABC):
+    """Base class for synthetic benchmarks.
+
+    Class attributes:
+        name: registry key (e.g. ``"linear_regression"``).
+        suite: ``"phoenix"``, ``"parsec"`` or ``"micro"``.
+        documented_false_sharing: True when the paper documents a false
+            sharing problem in this application.
+        significant_false_sharing: True when that problem is significant
+            enough that Cheetah should report it (False for the Figure 7
+            trio, which Cheetah intentionally misses).
+        default_threads: thread count used by the paper's evaluation.
+    """
+
+    name: str = ""
+    suite: str = ""
+    documented_false_sharing: bool = False
+    significant_false_sharing: bool = False
+    default_threads: int = 16
+
+    def __init__(self, num_threads: Optional[int] = None, scale: float = 1.0,
+                 fixed: bool = False, seed: int = 0):
+        if num_threads is not None and num_threads < 1:
+            raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
+        if scale <= 0:
+            raise ConfigError(f"scale must be positive, got {scale}")
+        self.num_threads = num_threads or self.default_threads
+        self.scale = scale
+        self.fixed = fixed
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def setup(self, symbols: SymbolTable) -> None:
+        """Declare global variables; default: none."""
+
+    @abc.abstractmethod
+    def main(self, api) -> Any:
+        """The main-thread generator (use ``yield from api....``)."""
+
+    # -- helpers ---------------------------------------------------------------
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        """Scale an iteration count by the workload's ``scale``."""
+        return max(minimum, int(value * self.scale))
+
+    def fork_join(self, api, thread_fn: Callable[..., Any],
+                  args_list: Sequence[tuple]):
+        """Spawn a thread per argument tuple and join them all in order."""
+        tids = []
+        for args in args_list:
+            tid = yield from api.spawn(thread_fn, *args)
+            tids.append(tid)
+        yield from api.join_all(tids)
+
+    def chunks(self, total: int, parts: int) -> List[tuple]:
+        """Split ``range(total)`` into ``parts`` (start, count) chunks."""
+        base = total // parts
+        remainder = total % parts
+        out = []
+        start = 0
+        for index in range(parts):
+            count = base + (1 if index < remainder else 0)
+            out.append((start, count))
+            start += count
+        return out
+
+    def describe(self) -> str:
+        fs = "has documented FS" if self.documented_false_sharing else "no FS"
+        layout = "fixed layout" if self.fixed else "original layout"
+        return (f"{self.name} ({self.suite}, {self.num_threads} threads, "
+                f"scale {self.scale:g}, {layout}, {fs})")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,0 +1,379 @@
+"""Synthetic PARSEC benchmarks (Bienia, 2011).
+
+``streamcluster`` carries the suite's documented false sharing bug
+(Section 4.2.2): its authors padded the per-thread ``work_mem`` regions
+using a ``CACHE_LINE`` macro set to 32 bytes, half the actual 64-byte
+line, so neighbouring threads still share lines. ``x264`` creates over a
+thousand short-lived threads, making it (with kmeans) the Figure 4
+overhead outlier. The remaining applications have no documented false
+sharing and exist to populate the overhead study with realistic
+instruction mixes.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+from repro.workloads.phoenix import STREAMCLUSTER_CALLSITE
+
+
+@register
+class StreamCluster(Workload):
+    """PARSEC streamcluster: padding computed for 32-byte cache lines.
+
+    Every worker thread owns a slot of the shared ``work_mem`` object
+    (allocated at streamcluster.cpp:985), padded to ``CACHE_LINE = 32``
+    bytes. On a 64-byte-line machine, slot pairs share a line, so the
+    per-iteration cost updates falsely share — a real but modest problem
+    (paper Table 1: ~1.015-1.035x after fixing with 64-byte padding).
+    """
+
+    name = "streamcluster"
+    suite = "parsec"
+    documented_false_sharing = True
+    significant_false_sharing = True
+
+    #: The authors' (wrong) CACHE_LINE macro value.
+    SLOT_BYTES = 32
+    #: The fixed layout pads slots to the machine's real line size.
+    SLOT_BYTES_FIXED = 64
+    ITERATIONS = 300
+    PRIVATE_WORDS = 192
+    WORK_PER_WORD = 3
+    #: work_mem is updated once every this many iterations (pgain updates
+    #: the per-thread cost entries on every pass).
+    UPDATE_EVERY = 1
+    #: Words of the slot written per update (cost, total).
+    SLOT_WORDS = 4
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0,
+                 fixed_slot_bytes=None):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.iterations = self.scaled(self.ITERATIONS)
+        # The padding the "fix" applies; 64 bytes fixes 64-byte-line
+        # machines. Machines with larger lines need larger padding (the
+        # bug's root cause, generalized).
+        self.fixed_slot_bytes = fixed_slot_bytes or self.SLOT_BYTES_FIXED
+
+    @property
+    def slot_stride(self) -> int:
+        return self.fixed_slot_bytes if self.fixed else self.SLOT_BYTES
+
+    def main(self, api):
+        stride = self.slot_stride
+        points_words = self.num_threads * self.PRIVATE_WORDS
+        points = yield from api.malloc(points_words * 4,
+                                       callsite="parsec.py:sc_points")
+        yield from api.loop(points, 4, points_words, read=False, write=True,
+                            work=1)
+        yield from api.loop(points, 4, points_words, read=True, write=False,
+                            work=1, repeat=2)
+        work_mem = yield from api.malloc(self.num_threads * stride,
+                                         callsite=STREAMCLUSTER_CALLSITE)
+        args = [(points + i * self.PRIVATE_WORDS * 4,
+                 work_mem + i * stride)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+        yield from api.loop(work_mem, stride, self.num_threads,
+                            read=True, write=False, work=2)
+
+    def _worker(self, api, points, slot):
+        for iteration in range(self.iterations):
+            # pgain(): scan this thread's points, computing cost deltas.
+            yield from api.loop(points, 4, self.PRIVATE_WORDS, write=False,
+                                work=self.WORK_PER_WORD)
+            if iteration % self.UPDATE_EVERY == 0:
+                # Update the per-thread cost entries in work_mem.
+                yield from api.loop(slot, 4, self.SLOT_WORDS, read=True,
+                                    write=True, work=1)
+
+
+@register
+class BlackScholes(Workload):
+    """PARSEC blackscholes: embarrassingly parallel option pricing."""
+
+    name = "blackscholes"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    OPTIONS_PER_THREAD = 700
+    WORDS_PER_OPTION = 6
+    WORK_PER_OPTION = 60
+
+    def main(self, api):
+        options = self.scaled(self.OPTIONS_PER_THREAD)
+        opt_bytes = self.WORDS_PER_OPTION * 4
+        data = yield from api.malloc(self.num_threads * options * opt_bytes,
+                                     callsite="parsec.py:options")
+        yield from api.loop(data, 4, min(self.num_threads * options *
+                                         self.WORDS_PER_OPTION, 4096),
+                            read=False, write=True, work=1)
+        prices = yield from api.malloc(self.num_threads * options * 4,
+                                       callsite="parsec.py:prices")
+        args = [(data + i * options * opt_bytes,
+                 prices + i * options * 4, options)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, chunk, prices, options):
+        opt_bytes = self.WORDS_PER_OPTION * 4
+        for opt in range(options):
+            yield from api.loop(chunk + opt * opt_bytes, 4,
+                                self.WORDS_PER_OPTION, write=False,
+                                work=self.WORK_PER_OPTION)
+            yield from api.store(prices + opt * 4)
+
+
+@register
+class BodyTrack(Workload):
+    """PARSEC bodytrack: repeated fork-join over a shared read-only model."""
+
+    name = "bodytrack"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    FRAMES = 4
+    MODEL_WORDS = 512
+    PARTICLES_PER_THREAD = 40
+    WORK_PER_PARTICLE = 30
+
+    def setup(self, symbols):
+        self.model = symbols.define("body_model", self.MODEL_WORDS * 4,
+                                    align=64)
+
+    def main(self, api):
+        particles = self.scaled(self.PARTICLES_PER_THREAD)
+        state = yield from api.malloc(self.num_threads * particles * 16,
+                                      callsite="parsec.py:particles")
+        yield from api.loop(self.model, 4, self.MODEL_WORDS,
+                            read=False, write=True, work=1)
+        for _ in range(self.FRAMES):
+            args = [(state + i * particles * 16, particles)
+                    for i in range(self.num_threads)]
+            yield from self.fork_join(api, self._worker, args)
+            # Serial: pick the best particle, update the model.
+            yield from api.loop(self.model, 4, 64, read=True, write=True,
+                                work=2)
+
+    def _worker(self, api, particles, count):
+        for p in range(count):
+            yield from api.loop(self.model, 4, 48, write=False, work=2)
+            yield from api.loop(particles + p * 16, 4, 4, read=True,
+                                write=True, work=self.WORK_PER_PARTICLE)
+
+
+@register
+class Canneal(Workload):
+    """PARSEC canneal: random element swaps over one big shared array.
+
+    Simulated annealing swaps random netlist elements; cross-thread
+    collisions on a cache line exist but are spread uniformly over a huge
+    array, so no single object accumulates enough invalidations to matter.
+    """
+
+    name = "canneal"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    ELEMENTS = 40_000
+    SWAPS_PER_THREAD = 500
+    WORK_PER_SWAP = 12
+
+    def main(self, api):
+        elements = self.scaled(self.ELEMENTS, minimum=1024)
+        netlist = yield from api.malloc(elements * 4,
+                                        callsite="parsec.py:netlist")
+        yield from api.loop(netlist, 4, min(elements, 4096),
+                            read=False, write=True, work=1)
+        swaps = self.scaled(self.SWAPS_PER_THREAD)
+        args = []
+        for i in range(self.num_threads):
+            seed = self.seed * 1_000_003 + i
+            args.append((netlist, elements, swaps, seed))
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, netlist, elements, swaps, seed):
+        import random
+        rng = random.Random(seed)
+        for _ in range(swaps):
+            a = netlist + rng.randrange(elements) * 4
+            b = netlist + rng.randrange(elements) * 4
+            yield from api.update(a)
+            yield from api.update(b)
+            yield from api.work(self.WORK_PER_SWAP)
+
+
+@register
+class FaceSim(Workload):
+    """PARSEC facesim: private mesh partitions, iterative relaxation."""
+
+    name = "facesim"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    NODES_PER_THREAD = 1_024
+    SWEEPS = 6
+    WORK_PER_NODE = 4
+
+    def main(self, api):
+        nodes = self.scaled(self.NODES_PER_THREAD, minimum=64)
+        mesh = yield from api.malloc(self.num_threads * nodes * 4,
+                                     callsite="parsec.py:mesh")
+        yield from api.loop(mesh, 4, min(self.num_threads * nodes, 4096),
+                            read=False, write=True, work=1)
+        args = [(mesh + i * nodes * 4, nodes)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, partition, nodes):
+        for _ in range(self.SWEEPS):
+            yield from api.loop(partition, 4, nodes, read=True, write=True,
+                                work=self.WORK_PER_NODE)
+
+
+@register
+class FluidAnimate(Workload):
+    """PARSEC fluidanimate: private cell updates + read-shared boundaries."""
+
+    name = "fluidanimate"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    CELLS_PER_THREAD = 768
+    STEPS = 5
+    BOUNDARY_WORDS = 16
+    WORK_PER_CELL = 5
+
+    def main(self, api):
+        cells = self.scaled(self.CELLS_PER_THREAD, minimum=64)
+        grid = yield from api.malloc(self.num_threads * cells * 4,
+                                     callsite="parsec.py:grid")
+        yield from api.loop(grid, 4, min(self.num_threads * cells, 4096),
+                            read=False, write=True, work=1)
+        args = []
+        for i in range(self.num_threads):
+            mine = grid + i * cells * 4
+            neighbour = grid + ((i + 1) % self.num_threads) * cells * 4
+            args.append((mine, neighbour, cells))
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, mine, neighbour, cells):
+        for _ in range(self.STEPS):
+            # Read the neighbour partition's boundary cells (read-only
+            # sharing: no invalidations).
+            yield from api.loop(neighbour, 4, self.BOUNDARY_WORDS,
+                                write=False, work=2)
+            yield from api.loop(mine, 4, cells, read=True, write=True,
+                                work=self.WORK_PER_CELL)
+
+
+@register
+class FreqMine(Workload):
+    """PARSEC freqmine: shared read-only FP-tree + private counters."""
+
+    name = "freqmine"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    TREE_WORDS = 2_048
+    TRANSACTIONS_PER_THREAD = 600
+    WORK_PER_TRANSACTION = 10
+
+    def setup(self, symbols):
+        self.tree = symbols.define("fp_tree", self.TREE_WORDS * 4, align=64)
+
+    def main(self, api):
+        transactions = self.scaled(self.TRANSACTIONS_PER_THREAD)
+        yield from api.loop(self.tree, 4, self.TREE_WORDS,
+                            read=False, write=True, work=1)
+        counters = yield from api.malloc(self.num_threads * 64,
+                                         callsite="parsec.py:fm_counters")
+        args = []
+        for i in range(self.num_threads):
+            seed = self.seed * 7_777_777 + i
+            args.append((counters + i * 64, transactions, seed))
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, counter, transactions, seed):
+        import random
+        rng = random.Random(seed)
+        for _ in range(transactions):
+            # Walk a random path down the shared (read-only) tree.
+            offset = rng.randrange(self.TREE_WORDS - 16)
+            yield from api.loop(self.tree + offset * 4, 4, 16, write=False,
+                                work=self.WORK_PER_TRANSACTION)
+            yield from api.update(counter)
+
+
+@register
+class Swaptions(Workload):
+    """PARSEC swaptions: Monte-Carlo simulation, heavily compute-bound."""
+
+    name = "swaptions"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    SIMS_PER_THREAD = 400
+    #: One full cache line per thread's path state (16 words x 4 bytes):
+    #: per-thread simulation state is line-aligned, so no sharing.
+    PATH_WORDS = 16
+    WORK_PER_SIM = 80
+
+    def main(self, api):
+        sims = self.scaled(self.SIMS_PER_THREAD)
+        paths = yield from api.malloc(
+            self.num_threads * self.PATH_WORDS * 4,
+            callsite="parsec.py:paths")
+        yield from api.loop(paths, 4, self.num_threads * self.PATH_WORDS,
+                            read=False, write=True, work=1)
+        args = [(paths + i * self.PATH_WORDS * 4, sims)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, path, sims):
+        for _ in range(sims):
+            yield from api.loop(path, 4, self.PATH_WORDS, read=True,
+                                write=True, work=self.WORK_PER_SIM)
+
+
+@register
+class X264(Workload):
+    """PARSEC x264: over a thousand short-lived encoder threads.
+
+    One fork-join phase per frame, one thread per slice; the paper counts
+    1024 threads in its 40-second run and attributes Cheetah's >20%
+    overhead on this application to per-thread PMU setup (Section 4.1).
+    """
+
+    name = "x264"
+    suite = "parsec"
+    documented_false_sharing = False
+
+    FRAMES = 64  # 64 frames x 16 slice threads = 1024 threads
+    MACROBLOCKS_PER_THREAD = 24
+    WORDS_PER_MACROBLOCK = 8
+    WORK_PER_MACROBLOCK = 14
+
+    def main(self, api):
+        blocks = self.scaled(self.MACROBLOCKS_PER_THREAD)
+        frame_bytes = self.num_threads * blocks * self.WORDS_PER_MACROBLOCK * 4
+        frame = yield from api.malloc(frame_bytes, callsite="parsec.py:frame")
+        yield from api.loop(frame, 4, min(frame_bytes // 4, 4096),
+                            read=False, write=True, work=1)
+        out = yield from api.malloc(self.num_threads * 64,
+                                    callsite="parsec.py:bitstream")
+        chunk = blocks * self.WORDS_PER_MACROBLOCK * 4
+        for _ in range(self.FRAMES):
+            args = [(frame + i * chunk, blocks, out + i * 64)
+                    for i in range(self.num_threads)]
+            yield from self.fork_join(api, self._worker, args)
+            # Serial: stitch slice outputs into the bitstream.
+            yield from api.loop(out, 64, self.num_threads, read=True,
+                                write=False, work=2)
+
+    def _worker(self, api, slice_addr, blocks, out):
+        for mb in range(blocks):
+            yield from api.loop(
+                slice_addr + mb * self.WORDS_PER_MACROBLOCK * 4, 4,
+                self.WORDS_PER_MACROBLOCK, write=False,
+                work=self.WORK_PER_MACROBLOCK)
+            yield from api.update(out)

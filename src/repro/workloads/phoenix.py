@@ -1,0 +1,429 @@
+"""Synthetic Phoenix benchmarks (Ranger et al., HPCA'07).
+
+Each workload reproduces the *sharing pattern* of its namesake; see the
+class docstrings for what that pattern is and where it comes from in the
+paper. ``linear_regression`` is the paper's main case study (Figures 5
+and 6, Table 1); ``histogram``, ``reverse_index`` and ``word_count`` are
+the Figure 7 trio whose false sharing is real but negligible.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+# The callsite string the paper's Figure 5 prints for the tid_args
+# allocation; kept verbatim as the allocation label.
+LINEAR_REGRESSION_CALLSITE = "linear_regression-pthread.c:139"
+STREAMCLUSTER_CALLSITE = "streamcluster.cpp:985"
+
+
+@register
+class LinearRegression(Workload):
+    """Phoenix linear_regression: the paper's flagship false sharing bug.
+
+    The main thread allocates one ``tid_args`` array with a 56-byte
+    ``lreg_args`` struct per thread (Figure 6); every thread then updates
+    its own struct's accumulators (SX, SXX, SY, SYY, SXY) once per input
+    point. Adjacent structs share cache lines, so the accumulator updates
+    of neighbouring threads falsely share — fixing it by padding the
+    struct to a full line yields 5.7x (paper Section 4.2.1).
+    """
+
+    name = "linear_regression"
+    suite = "phoenix"
+    documented_false_sharing = True
+    significant_false_sharing = True
+
+    #: sizeof(lreg_args): pointer + num_elems + 5 accumulators, 7 x 8 bytes.
+    STRUCT_SIZE = 56
+    #: Padded struct size for the fixed layout (one full cache line).
+    STRUCT_SIZE_FIXED = 64
+    #: Accumulator fields updated per point: SX, SXX, SY, SYY, SXY.
+    FIELDS = 5
+    #: Total input points, split across threads. Small on purpose: the
+    #: paper itself added "more loop iterations" to make the kernel
+    #: dominate, so each thread sweeps its (cached) chunk repeatedly
+    #: until it has executed ~ITERS_PER_THREAD kernel iterations.
+    TOTAL_POINTS = 256
+    ITERS_PER_THREAD = 2400
+    WARM_PASSES = 6
+    #: Computation cycles per accumulator update (multiply + add).
+    FIELD_WORK = 2
+    #: Computation cycles per point-coordinate load.
+    POINT_WORK = 1
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.points_per_thread = max(1, self.TOTAL_POINTS // self.num_threads)
+        iters = self.scaled(self.ITERS_PER_THREAD)
+        self.repeat = max(1, iters // self.points_per_thread)
+
+    @property
+    def struct_stride(self) -> int:
+        return self.STRUCT_SIZE_FIXED if self.fixed else self.STRUCT_SIZE
+
+    def main(self, api):
+        npts = self.points_per_thread * self.num_threads
+        # The input: an array of (x, y) points, read-only in the parallel
+        # phase. Initialised and warmed serially — the warm passes are the
+        # serial-phase samples Cheetah's AverCycles_nofs comes from.
+        points = yield from api.malloc(npts * 8, callsite="phoenix.py:points")
+        yield from api.loop(points, 4, npts * 2, read=False, write=True,
+                            work=1)
+        yield from api.loop(points, 4, npts * 2, read=True, write=False,
+                            work=1, repeat=self.WARM_PASSES)
+
+        stride = self.struct_stride
+        tid_args = yield from api.malloc(
+            self.num_threads * stride, callsite=LINEAR_REGRESSION_CALLSITE)
+
+        args = []
+        for index in range(self.num_threads):
+            args.append((points + index * self.points_per_thread * 8,
+                         tid_args + index * stride,
+                         self.points_per_thread, self.repeat))
+        yield from self.fork_join(api, self._worker, args)
+
+        # Serial reduction: one read per thread's struct.
+        yield from api.loop(tid_args, stride, self.num_threads,
+                            read=True, write=False, work=2)
+
+    def _worker(self, api, points, struct, count, repeat):
+        """linear_regression_pthread: per point, update 5 accumulators."""
+        fields = self.FIELDS
+        for _ in range(repeat):
+            for p in range(count):
+                # Load the point's x and y, plus the multiply work.
+                yield from api.loop(points + p * 8, 4, 2, write=False,
+                                    work=self.POINT_WORK)
+                # SX += x; SXX += x*x; SY += y; SYY += y*y; SXY += x*y.
+                yield from api.loop(struct, 8, fields, read=True, write=True,
+                                    work=self.FIELD_WORK)
+
+
+@register
+class Histogram(Workload):
+    """Phoenix histogram: Figure 7 member (negligible false sharing).
+
+    Threads scan private slices of the image and keep private local
+    histograms; the only shared writes are occasional bumps of a
+    per-thread statistics word, and those words are adjacent — genuine
+    false sharing, but touched so rarely that fixing it changes nothing
+    measurable (<0.2% on the paper's runs). Cheetah's sampling misses it;
+    Predator's full instrumentation reports it (Section 4.2.3).
+    """
+
+    name = "histogram"
+    suite = "phoenix"
+    documented_false_sharing = True
+    significant_false_sharing = False
+
+    PIXELS_PER_THREAD = 12_000
+    BLOCK = 64
+    BLOCKS_PER_UPDATE = 48  # shared-stat bump roughly every 3K pixels
+    WORK_PER_PIXEL = 2
+
+    def setup(self, symbols):
+        stride = 64 if self.fixed else 4
+        self.stats_addr = symbols.define("thread_stats",
+                                         self.num_threads * stride,
+                                         align=64)
+        self.stats_stride = stride
+
+    def main(self, api):
+        pixels = self.scaled(self.PIXELS_PER_THREAD)
+        image = yield from api.malloc(self.num_threads * pixels * 4,
+                                      callsite="phoenix.py:image")
+        # Serial: "read the input file" — initialise and warm the image.
+        yield from api.loop(image, 4, min(self.num_threads * pixels, 4096),
+                            read=False, write=True, work=1)
+        yield from api.loop(image, 4, min(self.num_threads * pixels, 4096),
+                            read=True, write=False, work=1)
+        args = [(image + i * pixels * 4, pixels,
+                 self.stats_addr + i * self.stats_stride)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+        # Serial merge of the (private) local histograms.
+        yield from api.loop(self.stats_addr, self.stats_stride,
+                            self.num_threads, read=True, write=False, work=2)
+
+    def _worker(self, api, chunk, pixels, stat_word):
+        blocks = pixels // self.BLOCK
+        for block in range(blocks):
+            yield from api.loop(chunk + block * self.BLOCK * 4, 4,
+                                self.BLOCK, write=False,
+                                work=self.WORK_PER_PIXEL)
+            if block % self.BLOCKS_PER_UPDATE == 0:
+                # The rare falsely-shared write: bump this thread's stat.
+                yield from api.update(stat_word)
+
+
+@register
+class ReverseIndex(Workload):
+    """Phoenix reverse_index: Figure 7 member (negligible false sharing).
+
+    Threads parse private slices of HTML and build private link lists;
+    adjacent per-thread link counters are bumped once per parsed block —
+    rare false sharing with negligible impact.
+    """
+
+    name = "reverse_index"
+    suite = "phoenix"
+    documented_false_sharing = True
+    significant_false_sharing = False
+
+    WORDS_PER_THREAD = 10_000
+    BLOCK = 128
+    BLOCKS_PER_UPDATE = 6
+    WORK_PER_WORD = 3
+
+    def setup(self, symbols):
+        stride = 64 if self.fixed else 4
+        self.counts_addr = symbols.define("link_counts",
+                                          self.num_threads * stride,
+                                          align=64)
+        self.counts_stride = stride
+
+    def main(self, api):
+        words = self.scaled(self.WORDS_PER_THREAD)
+        corpus = yield from api.malloc(self.num_threads * words * 4,
+                                       callsite="phoenix.py:corpus")
+        yield from api.loop(corpus, 4, min(self.num_threads * words, 4096),
+                            read=False, write=True, work=1)
+        yield from api.loop(corpus, 4, min(self.num_threads * words, 4096),
+                            read=True, write=False, work=1)
+        args = [(corpus + i * words * 4, words,
+                 self.counts_addr + i * self.counts_stride)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+        yield from api.loop(self.counts_addr, self.counts_stride,
+                            self.num_threads, read=True, write=False, work=2)
+
+    def _worker(self, api, chunk, words, count_word):
+        blocks = words // self.BLOCK
+        for block in range(blocks):
+            yield from api.loop(chunk + block * self.BLOCK * 4, 4,
+                                self.BLOCK, write=False,
+                                work=self.WORK_PER_WORD)
+            if block % self.BLOCKS_PER_UPDATE == 0:
+                yield from api.update(count_word)
+
+
+@register
+class WordCount(Workload):
+    """Phoenix word_count: Figure 7 member (negligible false sharing).
+
+    Same shape as reverse_index with a heavier per-word hash and its own
+    adjacent per-thread totals array.
+    """
+
+    name = "word_count"
+    suite = "phoenix"
+    documented_false_sharing = True
+    significant_false_sharing = False
+
+    WORDS_PER_THREAD = 8_000
+    BLOCK = 96
+    BLOCKS_PER_UPDATE = 5
+    WORK_PER_WORD = 4
+
+    def setup(self, symbols):
+        stride = 64 if self.fixed else 4
+        self.totals_addr = symbols.define("word_totals",
+                                          self.num_threads * stride,
+                                          align=64)
+        self.totals_stride = stride
+
+    def main(self, api):
+        words = self.scaled(self.WORDS_PER_THREAD)
+        text = yield from api.malloc(self.num_threads * words * 4,
+                                     callsite="phoenix.py:text")
+        yield from api.loop(text, 4, min(self.num_threads * words, 4096),
+                            read=False, write=True, work=1)
+        yield from api.loop(text, 4, min(self.num_threads * words, 4096),
+                            read=True, write=False, work=1)
+        args = [(text + i * words * 4, words,
+                 self.totals_addr + i * self.totals_stride)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+        yield from api.loop(self.totals_addr, self.totals_stride,
+                            self.num_threads, read=True, write=False, work=2)
+
+    def _worker(self, api, chunk, words, total_word):
+        blocks = words // self.BLOCK
+        for block in range(blocks):
+            yield from api.loop(chunk + block * self.BLOCK * 4, 4,
+                                self.BLOCK, write=False,
+                                work=self.WORK_PER_WORD)
+            if block % self.BLOCKS_PER_UPDATE == 0:
+                yield from api.update(total_word)
+
+
+@register
+class KMeans(Workload):
+    """Phoenix kmeans: many short-lived threads (224 in the paper).
+
+    No false sharing; its role in the evaluation is the Figure 4 overhead
+    outlier: one fork-join phase per clustering iteration re-creates all
+    worker threads, so per-thread PMU setup cost accumulates
+    (Section 4.1: "kmeans (with 224 threads in 14 seconds)").
+    """
+
+    name = "kmeans"
+    suite = "phoenix"
+    documented_false_sharing = False
+
+    ITERATIONS = 14  # 14 x 16 threads = the paper's 224 threads
+    POINTS_PER_THREAD = 60
+    DIMS = 8
+    CLUSTERS = 8
+    WORK_PER_DIM = 4
+
+    def setup(self, symbols):
+        self.centroids = symbols.define(
+            "centroids", self.CLUSTERS * self.DIMS * 4, align=64)
+
+    def main(self, api):
+        points_per_thread = self.scaled(self.POINTS_PER_THREAD)
+        total_words = self.num_threads * points_per_thread * self.DIMS
+        points = yield from api.malloc(total_words * 4,
+                                       callsite="phoenix.py:kmeans_points")
+        yield from api.loop(points, 4, min(total_words, 4096),
+                            read=False, write=True, work=1)
+        sums = yield from api.malloc(self.num_threads * 64 * self.CLUSTERS,
+                                     callsite="phoenix.py:kmeans_sums")
+        chunk_bytes = points_per_thread * self.DIMS * 4
+        for _ in range(self.ITERATIONS):
+            args = [(points + i * chunk_bytes, points_per_thread,
+                     sums + i * 64 * self.CLUSTERS)
+                    for i in range(self.num_threads)]
+            yield from self.fork_join(api, self._worker, args)
+            # Serial: recompute centroids from the per-thread sums.
+            yield from api.loop(self.centroids, 4,
+                                self.CLUSTERS * self.DIMS,
+                                read=True, write=True, work=2)
+
+    def _worker(self, api, chunk, points, private_sums):
+        for p in range(points):
+            yield from api.loop(chunk + p * self.DIMS * 4, 4, self.DIMS,
+                                write=False, work=self.WORK_PER_DIM)
+            # Accumulate into this thread's own (line-padded) sums.
+            yield from api.loop(private_sums, 4, 2, read=True, write=True,
+                                work=1)
+
+
+@register
+class MatrixMultiply(Workload):
+    """Phoenix matrix_multiply: disjoint output rows, no false sharing."""
+
+    name = "matrix_multiply"
+    suite = "phoenix"
+    documented_false_sharing = False
+
+    N = 40  # square matrix dimension
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.n = max(self.num_threads,
+                     int(self.N * (self.scale ** (1.0 / 3.0))))
+
+    def main(self, api):
+        n = self.n
+        a = yield from api.malloc(n * n * 4, callsite="phoenix.py:matrix_a")
+        b = yield from api.malloc(n * n * 4, callsite="phoenix.py:matrix_b")
+        c = yield from api.malloc(n * n * 4, callsite="phoenix.py:matrix_c")
+        yield from api.loop(a, 4, n * n, read=False, write=True, work=1)
+        yield from api.loop(b, 4, n * n, read=False, write=True, work=1)
+        args = [(a, b, c, n, start, count)
+                for start, count in self.chunks(n, self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, a, b, c, n, row_start, rows):
+        for row in range(row_start, row_start + rows):
+            for col in range(n):
+                # c[row][col] = dot(a.row, b.col)
+                yield from api.loop(a + row * n * 4, 4, n, write=False,
+                                    work=1)
+                yield from api.loop(b + col * 4, n * 4, n, write=False,
+                                    work=1)
+                yield from api.store(c + (row * n + col) * 4)
+
+
+@register
+class PCA(Workload):
+    """Phoenix pca: two fork-join phases (means, then covariance)."""
+
+    name = "pca"
+    suite = "phoenix"
+    documented_false_sharing = False
+
+    ROWS = 384
+    COLS = 48
+    WORK_PER_ELEM = 6
+
+    def main(self, api):
+        rows = self.scaled(self.ROWS, minimum=self.num_threads)
+        cols = self.COLS
+        matrix = yield from api.malloc(rows * cols * 4,
+                                       callsite="phoenix.py:pca_matrix")
+        yield from api.loop(matrix, 4, min(rows * cols, 4096),
+                            read=False, write=True, work=1)
+        means = yield from api.malloc(rows * 64,
+                                      callsite="phoenix.py:pca_means")
+        row_chunks = self.chunks(rows, self.num_threads)
+        # Phase 1: per-row means.
+        args = [(matrix, means, cols, start, count)
+                for start, count in row_chunks]
+        yield from self.fork_join(api, self._mean_worker, args)
+        # Phase 2: covariance accumulation (reads rows + means).
+        yield from self.fork_join(api, self._cov_worker, args)
+
+    def _mean_worker(self, api, matrix, means, cols, row_start, rows):
+        for row in range(row_start, row_start + rows):
+            yield from api.loop(matrix + row * cols * 4, 4, cols,
+                                write=False, work=self.WORK_PER_ELEM)
+            yield from api.update(means + row * 64)
+
+    def _cov_worker(self, api, matrix, means, cols, row_start, rows):
+        for row in range(row_start, row_start + rows):
+            yield from api.load(means + row * 64)
+            yield from api.loop(matrix + row * cols * 4, 4, cols,
+                                write=False, work=self.WORK_PER_ELEM + 2)
+
+
+@register
+class StringMatch(Workload):
+    """Phoenix string_match: pure private scanning, no false sharing."""
+
+    name = "string_match"
+    suite = "phoenix"
+    documented_false_sharing = False
+
+    WORDS_PER_THREAD = 9_000
+    WORK_PER_WORD = 5
+
+    def setup(self, symbols):
+        # The small key set every thread compares against (read-only).
+        self.keys_addr = symbols.define("match_keys", 256, align=64)
+
+    def main(self, api):
+        words = self.scaled(self.WORDS_PER_THREAD)
+        data = yield from api.malloc(self.num_threads * words * 4,
+                                     callsite="phoenix.py:match_data")
+        yield from api.loop(data, 4, min(self.num_threads * words, 4096),
+                            read=False, write=True, work=1)
+        yield from api.loop(self.keys_addr, 4, 64, read=False, write=True,
+                            work=1)
+        results = yield from api.malloc(self.num_threads * 64,
+                                        callsite="phoenix.py:match_results")
+        args = [(data + i * words * 4, words, results + i * 64)
+                for i in range(self.num_threads)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, chunk, words, result):
+        block = 256
+        for start in range(0, words - block + 1, block):
+            yield from api.loop(chunk + start * 4, 4, block, write=False,
+                                work=self.WORK_PER_WORD)
+            yield from api.loop(self.keys_addr, 4, 16, write=False, work=2)
+            yield from api.update(result)

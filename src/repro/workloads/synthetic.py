@@ -1,0 +1,74 @@
+"""Configurable synthetic sharing patterns for stress-testing detectors.
+
+Real benchmarks fix one sharing pattern each; this workload generates any
+of the canonical patterns on demand, so tests can sweep the detector
+over the whole classification matrix:
+
+- ``false`` — threads write disjoint words of shared lines (the bug
+  Cheetah exists to find);
+- ``true`` — threads read-modify-write the *same* word (real
+  communication: must be classified as true sharing, not reported);
+- ``read`` — threads read a common region, nobody writes (no
+  invalidations at all);
+- ``private`` — each thread on its own cache lines (nothing shared);
+- ``inter_object`` — each thread allocates its own tiny object, but a
+  shared bump allocator would pack them into common lines (pair with
+  :class:`repro.heap.bump.BumpAllocator` to exhibit the bug the custom
+  heap prevents).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload, register
+
+PATTERNS = ("false", "true", "read", "private", "inter_object")
+
+
+@register
+class SyntheticSharing(Workload):
+    """Parametric sharing-pattern generator."""
+
+    name = "synthetic"
+    suite = "micro"
+    default_threads = 8
+
+    ITERATIONS = 800
+    WORK_PER_ITER = 3
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0,
+                 pattern: str = "false"):
+        super().__init__(num_threads, scale, fixed, seed)
+        if pattern not in PATTERNS:
+            raise ConfigError(
+                f"unknown pattern '{pattern}' (choose from {PATTERNS})")
+        self.pattern = pattern
+        self.iterations = self.scaled(self.ITERATIONS)
+
+    def main(self, api):
+        pattern = self.pattern
+        n = self.num_threads
+        if pattern == "inter_object":
+            args = [(None,)] * n
+        elif pattern == "private" or self.fixed:
+            region = yield from api.malloc(n * 64,
+                                           callsite="synthetic.py:region")
+            args = [(region + i * 64,) for i in range(n)]
+        elif pattern in ("false",):
+            region = yield from api.malloc(n * 4,
+                                           callsite="synthetic.py:region")
+            args = [(region + i * 4,) for i in range(n)]
+        else:  # "true" and "read": everyone on the same word
+            region = yield from api.malloc(64,
+                                           callsite="synthetic.py:region")
+            args = [(region,)] * n
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, addr):
+        if addr is None:
+            # inter_object: allocate our own tiny object.
+            addr = yield from api.malloc(8, callsite="synthetic.py:tiny")
+        write = self.pattern != "read"
+        yield from api.loop(addr, 0, 1, read=True, write=write,
+                            work=self.WORK_PER_ITER,
+                            repeat=self.iterations)

@@ -1,0 +1,187 @@
+"""Tests for the performance-impact assessment — equations (1)-(4)."""
+
+import pytest
+
+from repro.core.assessment import (
+    Assessment, AssessmentConfig, ThreadObservation, assess_object,
+    serial_average,
+)
+from repro.core.detection import ObjectProfile
+from repro.errors import ConfigError
+from repro.runtime.phases import PhaseTracker
+
+
+def profile(per_tid_cycles, per_tid_accesses):
+    p = ObjectProfile(key=("heap", 1), kind="heap", start=0, end=64,
+                      size=64, label="x.c:1")
+    p.per_tid_cycles = dict(per_tid_cycles)
+    p.per_tid_accesses = dict(per_tid_accesses)
+    return p
+
+
+def tracker_with_one_phase(spawn=100, join=1100, finish=1200,
+                           tids=(1, 2)):
+    t = PhaseTracker()
+    for tid in tids:
+        t.on_spawn(0, tid, now=spawn)
+    for tid in tids:
+        t.on_join(0, tid, now=join)
+    t.finish(finish)
+    return t
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = AssessmentConfig()
+        assert cfg.serial_estimator == "median"
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            AssessmentConfig(default_nofs_cycles=0)
+        with pytest.raises(ConfigError):
+            AssessmentConfig(min_serial_samples=0)
+        with pytest.raises(ConfigError):
+            AssessmentConfig(serial_estimator="mode")
+
+
+class TestSerialAverage:
+    def test_default_when_too_few_samples(self):
+        cfg = AssessmentConfig(min_serial_samples=8)
+        assert serial_average([3] * 7, cfg) == cfg.default_nofs_cycles
+
+    def test_median_robust_to_outliers(self):
+        cfg = AssessmentConfig(serial_estimator="median")
+        latencies = [3] * 99 + [500]
+        assert serial_average(latencies, cfg) == 3.0
+
+    def test_median_even_count(self):
+        cfg = AssessmentConfig(serial_estimator="median",
+                               min_serial_samples=2)
+        assert serial_average([3, 5] * 5, cfg) == 4.0
+
+    def test_mean_estimator(self):
+        cfg = AssessmentConfig(serial_estimator="mean",
+                               min_serial_samples=2)
+        assert serial_average([2, 4, 6, 8], cfg) == 5.0
+
+    def test_trimmed_estimator_drops_top_decile(self):
+        cfg = AssessmentConfig(serial_estimator="trimmed",
+                               min_serial_samples=2)
+        latencies = [3] * 18 + [500, 500]
+        assert serial_average(latencies, cfg) == 3.0
+
+
+class TestEquations:
+    def test_eq_1_2_3_single_thread(self):
+        # Thread 1: RT=1000, sampled 100 accesses of 10 cycles on O, no
+        # other accesses. With AverCycles_nofs=2:
+        #   PredCycles_O = 2*100 = 200             (EQ 1)
+        #   PredCycles_t = 1000 - 1000 + 200 = 200 (EQ 2)
+        #   PredRT_t = 200/1000 * 1000 = 200       (EQ 3)
+        p = profile({1: 1000}, {1: 100})
+        threads = {1: ThreadObservation(tid=1, runtime=1000, accesses=100,
+                                        cycles=1000)}
+        t = tracker_with_one_phase(spawn=0, join=1000, finish=1000,
+                                   tids=(1,))
+        a = assess_object(p, threads, t, aver_nofs=2.0)
+        assert a.pred_rt_per_thread[1] == pytest.approx(200.0)
+
+    def test_unrelated_cycles_preserved(self):
+        # Half the thread's sampled cycles are not on O: they remain.
+        p = profile({1: 500}, {1: 50})
+        threads = {1: ThreadObservation(tid=1, runtime=2000, accesses=100,
+                                        cycles=1000)}
+        t = tracker_with_one_phase(spawn=0, join=2000, finish=2000,
+                                   tids=(1,))
+        a = assess_object(p, threads, t, aver_nofs=2.0)
+        # PredCycles_t = 1000 - 500 + 100 = 600 -> PredRT = 0.6 * 2000.
+        assert a.pred_rt_per_thread[1] == pytest.approx(1200.0)
+
+    def test_thread_without_object_accesses_unchanged(self):
+        p = profile({1: 500}, {1: 50})
+        threads = {
+            1: ThreadObservation(tid=1, runtime=1000, accesses=60,
+                                 cycles=600),
+            2: ThreadObservation(tid=2, runtime=900, accesses=50,
+                                 cycles=200),
+        }
+        t = tracker_with_one_phase(spawn=0, join=1000, finish=1000)
+        a = assess_object(p, threads, t, aver_nofs=2.0)
+        assert a.pred_rt_per_thread[2] == 900.0
+
+    def test_thread_with_zero_sampled_cycles_unchanged(self):
+        p = profile({}, {})
+        threads = {1: ThreadObservation(tid=1, runtime=700, accesses=0,
+                                        cycles=0)}
+        t = tracker_with_one_phase(spawn=0, join=700, finish=700, tids=(1,))
+        a = assess_object(p, threads, t, aver_nofs=2.0)
+        assert a.pred_rt_per_thread[1] == 700.0
+
+    def test_prediction_floored_at_one_cycle(self):
+        # aver smaller than observed with all cycles on O cannot go <= 0.
+        p = profile({1: 1000}, {1: 1})
+        threads = {1: ThreadObservation(tid=1, runtime=1000, accesses=1,
+                                        cycles=1000)}
+        t = tracker_with_one_phase(spawn=0, join=1000, finish=1000,
+                                   tids=(1,))
+        a = assess_object(p, threads, t, aver_nofs=0.001)
+        assert a.pred_rt_per_thread[1] > 0
+
+
+class TestApplicationLevel:
+    def test_eq4_phase_recomputation(self):
+        # Serial 100 + parallel (slowest thread) + trailing serial 100.
+        p = profile({1: 900, 2: 90}, {1: 100, 2: 10})
+        threads = {
+            1: ThreadObservation(tid=1, runtime=1000, accesses=100,
+                                 cycles=1000),  # hot: mostly O
+            2: ThreadObservation(tid=2, runtime=400, accesses=100,
+                                 cycles=400),
+        }
+        t = PhaseTracker()
+        t.on_spawn(0, 1, now=100)
+        t.on_spawn(0, 2, now=100)
+        t.on_join(0, 1, now=1100)
+        t.on_join(0, 2, now=1100)
+        t.finish(1200)
+        a = assess_object(p, threads, t, aver_nofs=1.0)
+        # Real: 100 + max(1000, 400) + 100 = 1200.
+        assert a.real_runtime == 1200
+        # Pred thread 1: (1000-900+100)/1000*1000 = 200;
+        # pred thread 2: (400-90+10)/400*400 = 320 -> phase = 320.
+        assert a.predicted_runtime == pytest.approx(100 + 320 + 100)
+        assert a.improvement == pytest.approx(1200 / 520)
+
+    def test_improvement_rate_percent(self):
+        a = Assessment(improvement=5.76, real_runtime=100,
+                       predicted_runtime=17.4, aver_nofs_cycles=3.0)
+        assert a.improvement_rate_percent == pytest.approx(576.0)
+
+    def test_fork_join_flag_propagates(self):
+        p = profile({1: 10}, {1: 1})
+        threads = {1: ThreadObservation(tid=1, runtime=10, accesses=1,
+                                        cycles=10)}
+        t = PhaseTracker()
+        t.on_spawn(0, 1, now=0)
+        t.on_spawn(1, 2, now=1)  # nested
+        t.on_join(0, 1, now=10)
+        t.finish(10)
+        a = assess_object(p, threads, t, aver_nofs=1.0)
+        assert not a.fork_join_ok
+
+    def test_empty_phases_improvement_is_one(self):
+        p = profile({}, {})
+        t = PhaseTracker()
+        t.finish(0)
+        a = assess_object(p, {}, t, aver_nofs=1.0)
+        assert a.improvement == 1.0
+
+    def test_phase_without_observed_threads_uses_measured_length(self):
+        p = profile({}, {})
+        t = PhaseTracker()
+        t.on_spawn(0, 9, now=10)
+        t.on_join(0, 9, now=110)
+        t.finish(120)
+        a = assess_object(p, {}, t, aver_nofs=1.0)
+        assert a.real_runtime == 120
+        assert a.predicted_runtime == 120

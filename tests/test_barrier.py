@@ -1,0 +1,125 @@
+"""Tests for barrier synchronisation."""
+
+import pytest
+
+from repro.errors import DeadlockError, ThreadError
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.ops import Barrier
+from repro.sim.params import MachineConfig
+
+
+def quiet_engine():
+    return Engine(machine=Machine(MachineConfig(), timing_jitter=0))
+
+
+class TestBarrierOp:
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            Barrier("b", 0)
+
+
+class TestBarrierSemantics:
+    def test_threads_resume_together(self):
+        arrivals = {}
+        def worker(api, work, tid_key):
+            yield from api.work(work)
+            yield from api.barrier("sync", 2)
+            arrivals[tid_key] = True
+        def main(api):
+            t1 = yield from api.spawn(worker, 100, "fast")
+            t2 = yield from api.spawn(worker, 5000, "slow")
+            yield from api.join(t1)
+            yield from api.join(t2)
+        result = quiet_engine().run(main)
+        fast, slow = result.threads[1], result.threads[2]
+        # Both leave the barrier at the same instant.
+        assert fast.end_clock == slow.end_clock
+        # The fast thread accounted its waiting time: the work gap plus
+        # the spawn stagger between the two threads.
+        expected = (slow.start_clock + 5000) - (fast.start_clock + 100)
+        assert fast.barrier_waits == expected
+        assert slow.barrier_waits == 0
+
+    def test_single_party_barrier_is_cheap_noop(self):
+        def main(api):
+            yield from api.barrier("solo", 1)
+        result = quiet_engine().run(main)
+        assert result.runtime == Engine.BARRIER_COST
+
+    def test_barrier_reusable_across_rounds(self):
+        def worker(api, work):
+            for _ in range(3):
+                yield from api.work(work)
+                yield from api.barrier("round", 2)
+        def main(api):
+            t1 = yield from api.spawn(worker, 10)
+            t2 = yield from api.spawn(worker, 400)
+            yield from api.join(t1)
+            yield from api.join(t2)
+        result = quiet_engine().run(main)
+        fast, slow = result.threads[1], result.threads[2]
+        # Round 1 includes the spawn stagger; rounds 2-3 wait the pure
+        # work difference (barriers re-synchronise the clocks).
+        stagger = slow.start_clock - fast.start_clock
+        assert fast.barrier_waits == stagger + 390 + 390 + 390
+        assert slow.barrier_waits == 0
+
+    def test_three_party_barrier(self):
+        def worker(api, work):
+            yield from api.work(work)
+            yield from api.barrier("tri", 3)
+        def main(api):
+            tids = []
+            for work in (10, 200, 3000):
+                tids.append((yield from api.spawn(worker, work)))
+            yield from api.join_all(tids)
+        result = quiet_engine().run(main)
+        ends = {result.threads[t].end_clock for t in (1, 2, 3)}
+        assert len(ends) == 1
+
+    def test_missing_party_deadlocks(self):
+        def worker(api):
+            yield from api.barrier("forever", 3)
+        def main(api):
+            t1 = yield from api.spawn(worker)
+            t2 = yield from api.spawn(worker)
+            yield from api.join(t1)
+            yield from api.join(t2)
+        with pytest.raises(DeadlockError):
+            quiet_engine().run(main)
+
+    def test_double_entry_rejected(self):
+        # A thread cannot wait twice at a barrier it's already in —
+        # generators can't, but direct op yields could.
+        def worker(api):
+            yield Barrier("dup", 3)
+        def main(api):
+            # Build a generator that yields the same barrier twice from
+            # the same thread by bypassing blocking: impossible via the
+            # API, so simulate by two sequential barrier yields with
+            # parties high enough never to release... the first blocks,
+            # so re-entry cannot happen via the engine. Instead verify
+            # the guard directly.
+            yield from api.work(1)
+        engine = quiet_engine()
+        engine.run(main)
+        # Direct guard check:
+        from repro.runtime.thread import SimThread
+        thread = next(iter(engine.threads.values()))
+        engine._barriers["dup"] = [thread]
+        with pytest.raises(ThreadError):
+            engine._do_barrier(thread, Barrier("dup", 3), [])
+
+    def test_different_keys_are_independent(self):
+        def worker(api, key):
+            yield from api.barrier(key, 1)
+            yield from api.work(5)
+        def main(api):
+            t1 = yield from api.spawn(worker, "a")
+            t2 = yield from api.spawn(worker, "b")
+            yield from api.join(t1)
+            yield from api.join(t2)
+        result = quiet_engine().run(main)
+        assert all(t.end_clock is not None
+                   for t in result.threads.values())

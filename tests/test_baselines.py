@@ -1,0 +1,203 @@
+"""Tests for the Predator and ownership-tracking baselines."""
+
+import pytest
+
+from repro.baselines.ownership import OwnershipTracker
+from repro.baselines.predator import PredatorDetector
+from repro.core.cacheline import TwoEntryTable
+from repro.heap.allocator import CheetahAllocator
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.params import MachineConfig
+from repro.symbols.table import SymbolTable
+
+
+class TestOwnershipTracker:
+    def test_first_write_no_invalidation(self):
+        t = OwnershipTracker()
+        assert t.record(1, tid=1, is_write=True) is False
+
+    def test_write_over_other_owner_invalidates(self):
+        t = OwnershipTracker()
+        t.record(1, tid=1, is_write=True)
+        assert t.record(1, tid=2, is_write=True) is True
+        assert t.invalidations(1) == 1
+
+    def test_reads_accumulate_owners(self):
+        t = OwnershipTracker()
+        t.record(1, tid=1, is_write=False)
+        t.record(1, tid=2, is_write=False)
+        assert t.record(1, tid=3, is_write=True) is True
+
+    def test_write_resets_ownership_to_writer(self):
+        t = OwnershipTracker()
+        t.record(1, tid=1, is_write=False)
+        t.record(1, tid=2, is_write=True)
+        # Now only tid 2 owns: its own next write is free.
+        assert t.record(1, tid=2, is_write=True) is False
+
+    def test_same_thread_stream_never_invalidates(self):
+        t = OwnershipTracker()
+        for _ in range(10):
+            assert not t.record(5, tid=1, is_write=True)
+            t.record(5, tid=1, is_write=False)
+        assert t.total_invalidations() == 0
+
+    def test_bits_used_scales_with_threads_and_lines(self):
+        # The memory-consumption argument of Section 2.3.
+        t = OwnershipTracker()
+        for line in range(10):
+            for tid in range(64):
+                t.record(line, tid=tid, is_write=False)
+        assert t.bits_used() == 10 * 64
+
+    def test_bits_used_zero_when_untouched(self):
+        assert OwnershipTracker().bits_used() == 0
+
+    def test_lines_with_invalidations(self):
+        t = OwnershipTracker()
+        t.record(1, tid=1, is_write=True)
+        t.record(1, tid=2, is_write=True)
+        t.record(2, tid=1, is_write=True)
+        assert t.lines_with_invalidations(1) == {1: 1}
+
+
+class TestTwoEntryTableAgreesWithOwnership:
+    """The two-entry table is a bounded-memory approximation of the
+    ownership rule; on write-write ping-pong streams they agree
+    exactly, and in general the table never reports MORE invalidations
+    from a single-writer stream."""
+
+    def test_agreement_on_write_pingpong(self):
+        table = TwoEntryTable()
+        owner = OwnershipTracker()
+        stream = [(tid, True) for tid in (1, 2, 1, 2, 2, 1, 1, 2)] * 5
+        table_inv = sum(table.record_write(t) for t, w in stream)
+        owner_inv = sum(owner.record(0, tid=t, is_write=w)
+                        for t, w in stream)
+        assert table_inv == owner_inv
+
+    def test_single_writer_no_invalidations_in_either(self):
+        table = TwoEntryTable()
+        owner = OwnershipTracker()
+        for _ in range(50):
+            assert not table.record_write(1)
+            assert not owner.record(0, tid=1, is_write=True)
+
+
+def run_with_predator(program, min_invalidations=10, jitter_seed=3):
+    config = MachineConfig()
+    predator = PredatorDetector(min_invalidations=min_invalidations)
+    engine = Engine(config=config,
+                    machine=Machine(config, jitter_seed=jitter_seed),
+                    observer=predator, symbols=SymbolTable(),
+                    allocator=CheetahAllocator(line_size=64))
+    result = engine.run(program)
+    return result, predator, engine
+
+
+def fs_program(api):
+    buf = yield from api.malloc(64, callsite="fs.c:3")
+    def worker(api, addr):
+        yield from api.loop(addr, 0, 1, read=True, write=True, work=2,
+                            repeat=300)
+    t1 = yield from api.spawn(worker, buf)
+    t2 = yield from api.spawn(worker, buf + 4)
+    yield from api.join(t1)
+    yield from api.join(t2)
+
+
+class TestPredator:
+    def test_observes_every_access(self):
+        result, predator, _ = run_with_predator(fs_program)
+        assert predator.accesses_observed == result.total_accesses
+
+    def test_invalidations_match_ground_truth_exactly(self):
+        # Full instrumentation means no sampling loss: Predator's counts
+        # equal the coherence directory's.
+        result, predator, _ = run_with_predator(fs_program)
+        line = next(iter(
+            result.machine.directory.lines_with_invalidations(10)))
+        assert (predator._ownership.invalidations(line)
+                == result.machine.directory.invalidations_of(line))
+
+    def test_finds_false_sharing_with_label(self):
+        result, predator, engine = run_with_predator(fs_program)
+        findings = predator.false_sharing_findings(engine.allocator,
+                                                   engine.symbols)
+        assert findings
+        assert findings[0].label == "heap:fs.c:3"
+        assert findings[0].is_false_sharing
+
+    def test_true_sharing_classified(self):
+        def ts_program(api):
+            buf = yield from api.malloc(64, callsite="ts.c:3")
+            def worker(api):
+                yield from api.loop(buf, 0, 1, read=True, write=True,
+                                    work=2, repeat=300)
+            t1 = yield from api.spawn(worker)
+            t2 = yield from api.spawn(worker)
+            yield from api.join(t1)
+            yield from api.join(t2)
+        result, predator, engine = run_with_predator(ts_program)
+        findings = predator.findings(engine.allocator, engine.symbols)
+        assert findings and not findings[0].is_false_sharing
+
+    def test_single_reduction_read_does_not_make_true_sharing(self):
+        # Predator has no phase gating; a single post-join read per word
+        # (the main thread's merge) must not flip FS to TS.
+        def merge_program(api):
+            buf = yield from api.malloc(64, callsite="merge.c:3")
+            def worker(api, addr):
+                yield from api.loop(addr, 0, 1, read=True, write=True,
+                                    work=2, repeat=300)
+            t1 = yield from api.spawn(worker, buf)
+            t2 = yield from api.spawn(worker, buf + 4)
+            yield from api.join(t1)
+            yield from api.join(t2)
+            yield from api.loop(buf, 4, 16, write=False)  # merge read
+        result, predator, engine = run_with_predator(merge_program)
+        findings = predator.false_sharing_findings(engine.allocator,
+                                                   engine.symbols)
+        assert findings and findings[0].label == "heap:merge.c:3"
+
+    def test_overhead_charged(self):
+        config = MachineConfig()
+        plain = Engine(config=config,
+                       machine=Machine(config, jitter_seed=3),
+                       allocator=CheetahAllocator(line_size=64))
+        baseline = plain.run(fs_program).runtime
+        result, predator, _ = run_with_predator(fs_program)
+        assert result.runtime > baseline
+
+    def test_min_invalidations_threshold(self):
+        result, predator, engine = run_with_predator(
+            fs_program, min_invalidations=10**9)
+        assert predator.findings(engine.allocator, engine.symbols) == []
+
+    def test_predictive_line_size_analysis(self):
+        # Two threads on words 4 bytes apart: false sharing exists at any
+        # line size >= 8; the virtual-line regrouping must see it at 128B.
+        result, predator, engine = run_with_predator(fs_program)
+        findings = predator.findings_for_line_size(128, engine.allocator,
+                                                   engine.symbols)
+        assert findings
+        assert findings[0].line_size == 128
+
+    def test_predictive_smaller_line_separates_words(self):
+        # At a 4-byte "line" the two words no longer share: no finding.
+        def spaced(api):
+            buf = yield from api.malloc(64, callsite="sp.c:1")
+            def worker(api, addr):
+                yield from api.loop(addr, 0, 1, read=True, write=True,
+                                    repeat=300)
+            t1 = yield from api.spawn(worker, buf)
+            t2 = yield from api.spawn(worker, buf + 32)
+            yield from api.join(t1)
+            yield from api.join(t2)
+        result, predator, engine = run_with_predator(spaced)
+        at64 = predator.findings_for_line_size(64)
+        at16 = predator.findings_for_line_size(16)
+        assert at64  # they share a 64-byte line
+        tids_per_line16 = [f for f in at16 if len(f.tids) > 1]
+        assert not tids_per_line16  # separated at 16-byte granularity

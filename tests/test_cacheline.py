@@ -1,0 +1,147 @@
+"""Tests for the two-entry table and word-level shadow state — the exact
+rules of paper Sections 2.3 and 2.4."""
+
+import pytest
+
+from repro.core.cacheline import DetailedLine, TwoEntryTable, WordInfo
+
+
+class TestTwoEntryTableReads:
+    def test_read_recorded_when_empty(self):
+        table = TwoEntryTable()
+        table.record_read(1)
+        assert table.entries == [(1, False)]
+
+    def test_read_from_same_thread_not_duplicated(self):
+        table = TwoEntryTable()
+        table.record_read(1)
+        table.record_read(1)
+        assert len(table) == 1
+
+    def test_read_from_second_thread_recorded(self):
+        table = TwoEntryTable()
+        table.record_read(1)
+        table.record_read(2)
+        assert table.tids == [1, 2]
+
+    def test_read_ignored_when_full(self):
+        table = TwoEntryTable()
+        table.record_read(1)
+        table.record_read(2)
+        table.record_read(3)
+        assert table.tids == [1, 2]
+
+    def test_read_ignored_when_same_thread_has_write_entry(self):
+        table = TwoEntryTable()
+        assert not table.record_write(1)
+        table.record_read(1)
+        assert table.entries == [(1, True)]
+
+
+class TestTwoEntryTableWrites:
+    def test_first_write_on_empty_table_no_invalidation(self):
+        # There is no other cached copy to invalidate.
+        table = TwoEntryTable()
+        assert table.record_write(1) is False
+        assert table.entries == [(1, True)]
+
+    def test_write_after_own_entry_skipped(self):
+        # "If this write access is from the same thread as the existing
+        # entry, Cheetah skips the current write access."
+        table = TwoEntryTable()
+        table.record_read(1)
+        assert table.record_write(1) is False
+        assert table.entries == [(1, False)]  # entry not even updated
+
+    def test_write_after_other_thread_entry_invalidates(self):
+        table = TwoEntryTable()
+        table.record_read(1)
+        assert table.record_write(2) is True
+        # Table flushed, write recorded: never empty afterwards.
+        assert table.entries == [(2, True)]
+
+    def test_write_on_full_table_invalidates(self):
+        # "If the table is already full ... it incurs a cache invalidation,
+        # since at least one of the existing entries is from a different
+        # thread."
+        table = TwoEntryTable()
+        table.record_read(1)
+        table.record_read(2)
+        assert table.record_write(1) is True
+        assert table.entries == [(1, True)]
+
+    def test_write_write_pingpong(self):
+        table = TwoEntryTable()
+        table.record_write(1)
+        invalidations = sum(
+            table.record_write(tid) for tid in (2, 1, 2, 1, 2))
+        assert invalidations == 5
+
+    def test_same_thread_write_stream_never_invalidates(self):
+        table = TwoEntryTable()
+        assert not any(table.record_write(3) for _ in range(10))
+
+    def test_table_never_exceeds_two_entries(self):
+        table = TwoEntryTable()
+        for tid in (1, 2, 3, 4, 5):
+            table.record_read(tid)
+            table.record_write(tid)
+        assert len(table) <= 2
+
+
+class TestWordInfo:
+    def test_record_and_counts(self):
+        info = WordInfo()
+        info.record(1, False, 3)
+        info.record(1, True, 55)
+        info.record(2, False, 3)
+        assert info.reads == {1: 1, 2: 1}
+        assert info.writes == {1: 1}
+        assert info.cycles == {1: 58, 2: 3}
+        assert info.total_accesses == 3
+        assert info.total_cycles == 61
+
+    def test_shared_detection(self):
+        info = WordInfo()
+        info.record(1, True, 3)
+        assert not info.is_shared
+        info.record(2, False, 3)
+        assert info.is_shared
+        assert info.tids == {1, 2}
+
+
+class TestDetailedLine:
+    def test_apply_table_counts_invalidations(self):
+        line = DetailedLine()
+        line.apply_table(1, True)
+        assert line.invalidations == 0
+        line.apply_table(2, True)
+        assert line.invalidations == 1
+
+    def test_record_detail_accumulates(self):
+        line = DetailedLine()
+        line.record_detail(0, 1, True, 50)
+        line.record_detail(0, 1, False, 3)
+        line.record_detail(4, 2, True, 60)
+        assert line.accesses == 3
+        assert line.writes == 2
+        assert line.total_latency == 113
+        assert line.per_tid_accesses == {1: 2, 2: 1}
+        assert line.per_tid_cycles == {1: 53, 2: 60}
+        assert line.tids == {1, 2}
+
+    def test_shared_word_accesses(self):
+        line = DetailedLine()
+        line.record_detail(0, 1, True, 3)  # word 0: only thread 1
+        line.record_detail(4, 1, True, 3)  # word 4: threads 1 and 2
+        line.record_detail(4, 2, False, 3)
+        assert line.shared_word_accesses() == 2
+
+    def test_word_summary_sorted(self):
+        line = DetailedLine()
+        line.record_detail(8, 1, True, 3)
+        line.record_detail(0, 2, False, 3)
+        summary = line.word_summary()
+        assert list(summary) == [0, 8]
+        assert summary[0]["tids"] == [2]
+        assert summary[8]["writes"] == 1

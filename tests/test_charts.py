@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, paired_bar_chart
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_bars_scale_to_max(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        text = bar_chart([("x", 1.234)], fmt="{:.2f}")
+        assert "1.23" in text
+
+    def test_labels_right_aligned(self):
+        text = bar_chart([("long-name", 1), ("ab", 1)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_baseline_marker(self):
+        text = bar_chart([("a", 0.5), ("b", 2.0)], width=20, baseline=1.0)
+        assert "|" in text.splitlines()[0][text.index("|") + 1:]
+
+    def test_zero_values_no_crash(self):
+        assert bar_chart([("a", 0.0)])
+
+
+class TestPairedBarChart:
+    def test_empty(self):
+        assert paired_bar_chart([], series=("a", "b")) == "(no data)"
+
+    def test_legend_and_two_bars_per_row(self):
+        text = paired_bar_chart([("8", 10, 20)],
+                                series=("expectation", "reality"))
+        assert "expectation" in text and "reality" in text
+        lines = text.splitlines()
+        assert len(lines) == 3  # legend + two bars
+        assert "#" in lines[1] and "+" in lines[2]
+
+    def test_scaling_shared_between_series(self):
+        text = paired_bar_chart([("r", 10, 40)], series=("a", "b"),
+                                width=40)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("+") == 40
+
+
+class TestIntegrationWithRenders:
+    def test_figure1_render_has_chart(self):
+        from repro.experiments import figure1
+        result = figure1.run(scale=0.05, seeds=(1,))
+        text = result.render()
+        assert "# = expectation" in text
+
+    def test_figure4_render_has_chart(self):
+        from repro.experiments import figure4
+        result = figure4.run(scale=0.05, seeds=(1,), names=["swaptions"])
+        assert "#" in result.render()

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "linear_regression" in out
+        assert "streamcluster" in out
+        assert "significant" in out
+        assert "negligible" in out
+
+
+class TestRun:
+    def test_run_prints_stats(self, capsys):
+        assert main(["run", "array_increment", "--threads", "2",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime:" in out
+        assert "invalidations:" in out
+
+    def test_unknown_workload_raises(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["run", "nope"])
+
+
+class TestProfile:
+    def test_profile_detects_fs(self, capsys):
+        code = main(["profile", "array_increment", "--threads", "8",
+                     "--scale", "0.4", "--period", "32"])
+        out = capsys.readouterr().out
+        assert code == 0  # something significant found
+        assert "Detecting false sharing" in out
+
+    def test_profile_clean_workload_exit_code(self, capsys):
+        code = main(["profile", "swaptions", "--scale", "0.15"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "No significant false sharing" in out
+
+    def test_profile_fixed_layout_clean(self, capsys):
+        code = main(["profile", "array_increment", "--threads", "8",
+                     "--scale", "0.4", "--fixed", "--period", "32"])
+        assert code == 1
+
+    def test_profile_json_output(self, capsys):
+        import json
+        code = main(["profile", "array_increment", "--threads", "8",
+                     "--scale", "0.4", "--period", "32", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"] == "cheetah-repro"
+        assert code == 0
+        assert data["significant"]
+
+    def test_profile_prints_padding_advice(self, capsys):
+        code = main(["profile", "array_increment", "--threads", "8",
+                     "--scale", "0.4", "--period", "32"])
+        out = capsys.readouterr().out
+        assert "Padding advice" in out
+
+
+class TestFixCheck:
+    def test_fix_check_reports_both_numbers(self, capsys):
+        code = main(["fix-check", "array_increment", "--threads", "8",
+                     "--scale", "0.4"])
+        out = capsys.readouterr().out
+        assert "real improvement:" in out
+        assert "Cheetah predicted:" in out
+
+
+class TestCompare:
+    def test_compare_three_tools(self, capsys):
+        assert main(["compare", "word_count", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("Cheetah", "Predator", "Sheriff"):
+            assert tool in out
+
+
+class TestExperiment:
+    def test_figure1_runs(self, capsys):
+        assert main(["experiment", "figure1", "--scale", "0.1"]) == 0
+        assert "Figure 1(b)" in capsys.readouterr().out
+
+    def test_oversubscription_runs(self, capsys):
+        assert main(["experiment", "oversubscription"]) == 0
+        assert "Assumption 1" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Tests for the false-sharing detector: thresholds, gating, replay,
+classification and object grouping."""
+
+import pytest
+
+from repro.core.detection import (
+    DetectorConfig, FalseSharingDetector, SharingKind,
+)
+from repro.errors import ConfigError
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sample import MemorySample
+from repro.symbols.table import SymbolTable
+
+
+def sample(addr, tid, is_write, latency=10):
+    return MemorySample(tid=tid, core=tid, addr=addr, is_write=is_write,
+                        latency=latency, size=4, timestamp=0)
+
+
+def feed(detector, events, in_parallel=True):
+    for addr, tid, is_write in events:
+        detector.on_sample(sample(addr, tid, is_write), in_parallel)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = DetectorConfig()
+        assert cfg.detail_threshold_writes == 2
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig(detail_threshold_writes=-1)
+        with pytest.raises(ConfigError):
+            DetectorConfig(min_invalidations=0)
+        with pytest.raises(ConfigError):
+            DetectorConfig(true_sharing_fraction=0.0)
+
+
+class TestDetailThreshold:
+    def test_no_detail_until_three_writes(self):
+        det = FalseSharingDetector()
+        feed(det, [(0x100, 1, True), (0x100, 2, True)])
+        assert det.detailed_line(0x100 >> 6) is None
+        feed(det, [(0x100, 1, True)])
+        assert det.detailed_line(0x100 >> 6) is not None
+
+    def test_read_only_lines_never_detailed(self):
+        det = FalseSharingDetector()
+        feed(det, [(0x100, tid, False) for tid in range(8)] * 10)
+        assert det.detailed_line(0x100 >> 6) is None
+
+    def test_write_counter_tracked_per_line(self):
+        det = FalseSharingDetector()
+        feed(det, [(0x100, 1, True), (0x140, 1, True)])
+        assert det.line_writes(0x100 >> 6) == 1
+        assert det.line_writes(0x140 >> 6) == 1
+
+    def test_pending_samples_replayed_into_detail(self):
+        # Samples seen before the threshold must not be lost: they carry
+        # the early invalidations and latency attribution.
+        det = FalseSharingDetector()
+        feed(det, [(0x100, 1, True), (0x104, 2, True), (0x100, 1, True)])
+        detail = det.detailed_line(0x100 >> 6)
+        assert detail is not None
+        # Replay applied the table rules to all three writes:
+        # w1(record), w2(invalidate), w1(invalidate).
+        assert detail.invalidations == 2
+        assert detail.accesses == 3  # all three recorded at word level
+
+
+class TestParallelPhaseGating:
+    def test_serial_samples_not_recorded_in_detail(self):
+        det = FalseSharingDetector()
+        feed(det, [(0x100, 0, True)] * 3, in_parallel=False)
+        detail = det.detailed_line(0x100 >> 6)
+        assert detail is not None
+        assert detail.accesses == 0  # table ran, word detail gated
+
+    def test_main_thread_init_not_reported_as_sharing(self):
+        # The scenario of Section 2.4: main initialises, children use.
+        det = FalseSharingDetector()
+        feed(det, [(0x100 + w * 4, 0, True) for w in range(16)] * 2,
+             in_parallel=False)
+        feed(det, [(0x100, 1, True), (0x104, 1, True), (0x100, 1, True)],
+             in_parallel=True)
+        detail = det.detailed_line(0x100 >> 6)
+        assert detail.tids == {1}  # tid 0's init writes are not in words
+
+
+class TestClassification:
+    def _profile(self, events, allocator=None, symbols=None,
+                 min_invalidations=1):
+        det = FalseSharingDetector(
+            DetectorConfig(min_invalidations=min_invalidations))
+        feed(det, events)
+        return det.build_objects(allocator or CheetahAllocator(),
+                                 symbols or SymbolTable())
+
+    def test_false_sharing_on_disjoint_words(self):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(64, tid=0, callsite="fs.c:1")
+        events = []
+        for _ in range(20):
+            events.append((base, 1, True))
+            events.append((base + 4, 2, True))
+        profiles = self._profile(events, allocator=alloc)
+        assert len(profiles) == 1
+        assert profiles[0].classify(0.5) is SharingKind.FALSE_SHARING
+
+    def test_true_sharing_on_same_word(self):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(64, tid=0, callsite="ts.c:1")
+        events = [(base, tid, True) for tid in (1, 2)] * 20
+        profiles = self._profile(events, allocator=alloc)
+        assert profiles[0].classify(0.5) is SharingKind.TRUE_SHARING
+
+    def test_single_thread_is_no_sharing(self):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(64, tid=0, callsite="solo.c:1")
+        events = [(base + (i % 4) * 4, 1, True) for i in range(30)]
+        profiles = self._profile(events, allocator=alloc)
+        assert profiles == []  # no invalidations -> not selected
+
+
+class TestObjectGrouping:
+    def test_heap_object_attribution(self):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(128, tid=0, callsite="obj.c:7")
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        feed(det, [(base, 1, True), (base + 4, 2, True)] * 10)
+        profiles = det.build_objects(alloc, SymbolTable())
+        profile = profiles[0]
+        assert profile.kind == "heap"
+        assert profile.label == "obj.c:7"
+        assert profile.start == base
+        assert profile.size == 128
+
+    def test_global_attribution(self):
+        table = SymbolTable()
+        addr = table.define("shared_counters", 64)
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        feed(det, [(addr, 1, True), (addr + 4, 2, True)] * 10)
+        profiles = det.build_objects(CheetahAllocator(), table)
+        assert profiles[0].kind == "global"
+        assert profiles[0].label == "shared_counters"
+
+    def test_unknown_region_attribution(self):
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        feed(det, [(0x900000, 1, True), (0x900004, 2, True)] * 10)
+        profiles = det.build_objects(CheetahAllocator(), SymbolTable())
+        assert profiles[0].kind == "region"
+
+    def test_line_spanning_two_objects_splits_by_word(self):
+        alloc = CheetahAllocator()
+        # Two 8-byte objects from the same thread share one line.
+        a = alloc.allocate(8, tid=0, callsite="a.c:1")
+        b = alloc.allocate(8, tid=0, callsite="b.c:1")
+        assert (a >> 6) == (b >> 6)
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        feed(det, [(a, 1, True), (b, 2, True)] * 10)
+        profiles = det.build_objects(alloc, SymbolTable())
+        labels = {p.label for p in profiles}
+        # Invalidations attributed to the plurality owner; both objects
+        # carry their own word data, and at least the owner is selected.
+        assert labels <= {"a.c:1", "b.c:1"}
+        assert profiles[0].accesses == 10
+
+    def test_whole_object_statistics_aggregated(self):
+        # Susceptible lines select the object; statistics cover ALL its
+        # tracked lines (the Figure 5 report covers the whole object).
+        alloc = CheetahAllocator()
+        base = alloc.allocate(256, tid=0, callsite="wide.c:9")
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=5))
+        # Line 0: heavy ping-pong (selected); line 2: mild traffic from a
+        # third thread pair (tracked but below the threshold).
+        events = [(base, 1, True), (base + 4, 2, True)] * 10
+        events += [(base + 128, 3, True)] * 3 + [(base + 132, 4, True)] * 2
+        feed(det, events)
+        profiles = det.build_objects(alloc, SymbolTable())
+        assert len(profiles) == 1
+        profile = profiles[0]
+        assert profile.tids == {1, 2, 3, 4}
+        assert profile.accesses == 25
+
+    def test_min_invalidations_selects_objects(self):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(64, tid=0, callsite="cold.c:1")
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=50))
+        feed(det, [(base, 1, True), (base + 4, 2, True)] * 5)
+        assert det.build_objects(alloc, SymbolTable()) == []

@@ -1,0 +1,129 @@
+"""Edge cases in detection and reporting not covered elsewhere."""
+
+import pytest
+
+from repro.core.detection import (
+    DetectorConfig, FalseSharingDetector, SharingKind,
+)
+from repro.core.export import instance_to_dict
+from repro.core.report import render_object
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sample import MemorySample
+from repro.symbols.table import SymbolTable
+
+
+def sample(addr, tid, is_write, latency=10):
+    return MemorySample(tid=tid, core=tid, addr=addr, is_write=is_write,
+                        latency=latency, size=4, timestamp=0)
+
+
+class TestPendingBuffer:
+    def test_pending_capped(self):
+        det = FalseSharingDetector()
+        # A line with many reads and only one write never becomes
+        # detailed; its pending buffer must not grow without bound.
+        for i in range(1000):
+            det.on_sample(sample(0x100, 1 + i % 4, False), True)
+        assert len(det._pending[0x100 >> 6]) <= det._PENDING_CAP
+
+    def test_pending_cleared_on_promotion(self):
+        det = FalseSharingDetector()
+        det.on_sample(sample(0x100, 1, True), True)
+        det.on_sample(sample(0x104, 2, True), True)
+        det.on_sample(sample(0x100, 1, True), True)
+        assert (0x100 >> 6) not in det._pending
+
+    def test_overflowing_pending_reads_dropped_not_crashing(self):
+        det = FalseSharingDetector()
+        for i in range(100):
+            det.on_sample(sample(0x200, i % 8, False), True)
+        # Promote late: only the first _PENDING_CAP replayed.
+        for _ in range(3):
+            det.on_sample(sample(0x200, 1, True), True)
+        detail = det.detailed_line(0x200 >> 6)
+        assert detail is not None
+        assert detail.accesses <= det._PENDING_CAP + 3
+
+
+class TestMultipleObjects:
+    def test_two_hot_objects_reported_separately(self):
+        alloc = CheetahAllocator()
+        a = alloc.allocate(64, tid=0, callsite="a.c:1")
+        b = alloc.allocate(64, tid=0, callsite="b.c:1")
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=2))
+        for _ in range(15):
+            det.on_sample(sample(a, 1, True), True)
+            det.on_sample(sample(a + 4, 2, True), True)
+            det.on_sample(sample(b, 3, True), True)
+            det.on_sample(sample(b + 4, 4, True), True)
+        profiles = det.build_objects(alloc, SymbolTable())
+        assert {p.label for p in profiles} == {"a.c:1", "b.c:1"}
+        for p in profiles:
+            assert p.classify(0.5) is SharingKind.FALSE_SHARING
+            assert len(p.tids) == 2
+
+    def test_heap_and_global_objects_coexist(self):
+        alloc = CheetahAllocator()
+        table = SymbolTable()
+        heap_obj = alloc.allocate(64, tid=0, callsite="h.c:1")
+        global_obj = table.define("g", 64, align=64)
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=2))
+        for _ in range(15):
+            det.on_sample(sample(heap_obj, 1, True), True)
+            det.on_sample(sample(heap_obj + 4, 2, True), True)
+            det.on_sample(sample(global_obj, 3, True), True)
+            det.on_sample(sample(global_obj + 4, 4, True), True)
+        profiles = det.build_objects(alloc, table)
+        kinds = {p.kind for p in profiles}
+        assert kinds == {"heap", "global"}
+
+
+class TestClassificationBoundaries:
+    def _object(self, shared_fraction):
+        alloc = CheetahAllocator()
+        base = alloc.allocate(64, tid=0, callsite="mix.c:1")
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        shared = int(40 * shared_fraction)
+        # Shared-word traffic (both threads on word 0).
+        for i in range(shared):
+            det.on_sample(sample(base, 1 + i % 2, True), True)
+        # Disjoint-word traffic.
+        for i in range(40 - shared):
+            tid = 1 + i % 2
+            det.on_sample(sample(base + tid * 4, tid, True), True)
+        profiles = det.build_objects(alloc, SymbolTable())
+        return profiles[0] if profiles else None
+
+    def test_mostly_disjoint_is_false_sharing(self):
+        profile = self._object(0.2)
+        assert profile.classify(0.5) is SharingKind.FALSE_SHARING
+
+    def test_mostly_shared_is_true_sharing(self):
+        profile = self._object(0.9)
+        assert profile.classify(0.5) is SharingKind.TRUE_SHARING
+
+    def test_threshold_is_configurable(self):
+        profile = self._object(0.4)
+        assert profile.classify(0.5) is SharingKind.FALSE_SHARING
+        assert profile.classify(0.3) is SharingKind.TRUE_SHARING
+
+
+class TestRegionRendering:
+    def test_region_object_renders_and_exports(self):
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        for _ in range(10):
+            det.on_sample(sample(0x900000, 1, True), True)
+            det.on_sample(sample(0x900004, 2, True), True)
+        profiles = det.build_objects(CheetahAllocator(), SymbolTable())
+        from repro.core.assessment import Assessment
+        from repro.core.report import ObjectReport
+        report = ObjectReport(
+            profile=profiles[0],
+            assessment=Assessment(improvement=1.5, real_runtime=100,
+                                  predicted_runtime=66.0,
+                                  aver_nofs_cycles=3.0),
+            kind=SharingKind.FALSE_SHARING)
+        text = render_object(report)
+        assert "unattributed region" in text
+        data = instance_to_dict(report)
+        assert data["object"]["type"] == "region"

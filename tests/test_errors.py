@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("SimulationError", "DeadlockError", "ThreadError",
+                 "AllocationError", "OutOfMemoryError", "InvalidFreeError",
+                 "ConfigError", "SymbolError", "ProfilerError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_thread_error_is_simulation_error():
+    assert issubclass(errors.ThreadError, errors.SimulationError)
+
+
+def test_out_of_memory_is_allocation_error():
+    assert issubclass(errors.OutOfMemoryError, errors.AllocationError)
+
+
+def test_invalid_free_is_allocation_error():
+    assert issubclass(errors.InvalidFreeError, errors.AllocationError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("stuck")

@@ -1,0 +1,192 @@
+"""Tests for the heap substrate: size classes, arena, Hoard-style
+allocator and the bump baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.heap.allocator import CheetahAllocator
+from repro.heap.arena import Arena, GLOBALS_BASE, HEAP_BASE
+from repro.heap.bump import BumpAllocator
+from repro.heap.sizeclass import MIN_SIZE_CLASS, size_class_of
+
+
+class TestSizeClass:
+    def test_minimum(self):
+        assert size_class_of(1) == MIN_SIZE_CLASS
+        assert size_class_of(MIN_SIZE_CLASS) == MIN_SIZE_CLASS
+
+    def test_exact_powers(self):
+        for p in (8, 16, 32, 64, 1024, 4096):
+            assert size_class_of(p) == p
+
+    def test_rounding_up(self):
+        assert size_class_of(9) == 16
+        assert size_class_of(4000) == 4096
+        assert size_class_of(65) == 128
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_class_of(0)
+        with pytest.raises(ValueError):
+            size_class_of(-3)
+
+    @given(st.integers(min_value=1, max_value=1 << 24))
+    def test_class_is_power_of_two_and_fits(self, size):
+        cls = size_class_of(size)
+        assert cls >= size
+        assert cls & (cls - 1) == 0
+        # Tightness: the next smaller power of two would not fit.
+        assert cls == MIN_SIZE_CLASS or cls // 2 < size
+
+
+class TestArena:
+    def test_carve_is_monotonic(self):
+        arena = Arena(size=1 << 20)
+        a = arena.carve(100)
+        b = arena.carve(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        arena = Arena(size=1 << 20)
+        arena.carve(3)
+        addr = arena.carve(64, align=64)
+        assert addr % 64 == 0
+
+    def test_exhaustion_raises(self):
+        arena = Arena(size=128)
+        arena.carve(128)
+        with pytest.raises(OutOfMemoryError):
+            arena.carve(1)
+
+    def test_contains(self):
+        arena = Arena(base=HEAP_BASE, size=1024)
+        assert arena.contains(HEAP_BASE)
+        assert arena.contains(HEAP_BASE + 1023)
+        assert not arena.contains(HEAP_BASE - 1)
+        assert not arena.contains(HEAP_BASE + 1024)
+
+    def test_line_index_is_bit_shift(self):
+        arena = Arena(base=HEAP_BASE, line_size=64)
+        assert arena.line_index(HEAP_BASE) == 0
+        assert arena.line_index(HEAP_BASE + 63) == 0
+        assert arena.line_index(HEAP_BASE + 64) == 1
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            Arena(base=HEAP_BASE + 1)
+
+    def test_globals_and_heap_segments_disjoint(self):
+        assert GLOBALS_BASE + (1 << 26) <= HEAP_BASE
+
+
+class TestCheetahAllocator:
+    def test_allocation_inside_arena(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(100, tid=1)
+        assert alloc.contains(addr)
+
+    def test_metadata_recorded(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(100, tid=3, callsite="foo.c:9")
+        info = alloc.find(addr)
+        assert info.requested_size == 100
+        assert info.size == 128  # power-of-two class
+        assert info.tid == 3
+        assert info.callsite == "foo.c:9"
+        assert info.live
+
+    def test_find_interior_pointer(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(256, tid=0)
+        assert alloc.find(addr + 255).addr == addr
+        assert alloc.find(addr + 256) is None or \
+            alloc.find(addr + 256).addr != addr
+
+    def test_find_unknown_address(self):
+        alloc = CheetahAllocator()
+        assert alloc.find(HEAP_BASE + 999999) is None
+
+    def test_no_two_threads_share_a_cache_line(self):
+        # The Hoard property the paper relies on: "two objects in the same
+        # cache line will never be allocated to two different threads".
+        alloc = CheetahAllocator(line_size=64)
+        lines = {}
+        for tid in range(8):
+            for _ in range(50):
+                addr = alloc.allocate(8, tid=tid)
+                info = alloc.find(addr)
+                for line in range(addr >> 6, (info.end - 1 >> 6) + 1):
+                    owner = lines.setdefault(line, tid)
+                    assert owner == tid, "line shared across threads"
+
+    def test_free_and_reuse_same_thread_only(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(64, tid=2)
+        alloc.free(addr, tid=2)
+        again = alloc.allocate(64, tid=2)
+        assert again == addr  # reused from the thread's free list
+        other = alloc.allocate(64, tid=5)
+        assert other != addr  # never handed to another thread
+
+    def test_double_free_raises(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(64, tid=0)
+        alloc.free(addr, tid=0)
+        with pytest.raises(InvalidFreeError):
+            alloc.free(addr, tid=0)
+
+    def test_free_unknown_raises(self):
+        alloc = CheetahAllocator()
+        with pytest.raises(InvalidFreeError):
+            alloc.free(0x1234, tid=0)
+
+    def test_dead_allocations_still_findable(self):
+        alloc = CheetahAllocator()
+        addr = alloc.allocate(64, tid=0, callsite="gone.c:1")
+        alloc.free(addr, tid=0)
+        info = alloc.find(addr)
+        assert info is not None and not info.live
+
+    def test_live_allocations_listing(self):
+        alloc = CheetahAllocator()
+        a = alloc.allocate(32, tid=0)
+        b = alloc.allocate(32, tid=0)
+        alloc.free(a, tid=0)
+        live = {i.addr for i in alloc.live_allocations()}
+        assert live == {b}
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(1, 4096)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_live_allocations_never_overlap(self, requests):
+        alloc = CheetahAllocator()
+        spans = []
+        for tid, size in requests:
+            addr = alloc.allocate(size, tid=tid)
+            info = alloc.find(addr)
+            for start, end in spans:
+                assert info.end <= start or info.addr >= end
+            spans.append((info.addr, info.end))
+
+
+class TestBumpAllocator:
+    def test_adjacent_allocations_can_share_lines(self):
+        # The baseline behaviour the Hoard design eliminates.
+        alloc = BumpAllocator(line_size=64)
+        a = alloc.allocate(8, tid=0)
+        b = alloc.allocate(8, tid=1)
+        assert (a >> 6) == (b >> 6)
+
+    def test_find_and_free(self):
+        alloc = BumpAllocator()
+        addr = alloc.allocate(100, tid=1, callsite="x.c:1")
+        assert alloc.find(addr + 50).addr == addr
+        alloc.free(addr, tid=1)
+        with pytest.raises(InvalidFreeError):
+            alloc.free(addr, tid=1)
+
+    def test_line_index(self):
+        alloc = BumpAllocator()
+        addr = alloc.allocate(8, tid=0)
+        assert alloc.line_index(addr) == (addr - alloc.arena.base) >> 6

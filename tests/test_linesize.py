@@ -1,0 +1,42 @@
+"""Tests for the line-size sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import linesize
+
+SCALE = 0.4
+
+
+class TestLineSizeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return linesize.run(num_threads=8, scale=SCALE)
+
+    def test_no_false_sharing_on_32_byte_lines(self, result):
+        row32 = result.rows[0]
+        assert row32.line_size == 32
+        # The authors' padding is correct for 32B lines: no invalidations
+        # on work_mem and no speedup from "fixing".
+        assert row32.slot_invalidations < 20
+        assert abs(row32.matched_fix_improvement - 1.0) < 0.02
+
+    def test_false_sharing_grows_with_line_size(self, result):
+        invals = [r.slot_invalidations for r in result.rows]
+        assert invals[0] < invals[1] < invals[2]
+        improvements = [r.matched_fix_improvement for r in result.rows]
+        assert improvements[2] > improvements[1] > improvements[0]
+
+    def test_64_byte_padding_insufficient_on_128_byte_lines(self, result):
+        row128 = result.rows[2]
+        assert (row128.padding64_improvement
+                < row128.matched_fix_improvement)
+
+    def test_predator_predicts_larger_lines(self, result):
+        # Predator's virtual-line regrouping sees the 128B problem in a
+        # trace captured on the 64B machine.
+        assert result.predictive_detects_128
+
+    def test_render(self, result):
+        text = result.render()
+        assert "32B" in text and "128B" in text
+        assert "Predator predicts" in text

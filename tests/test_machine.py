@@ -1,0 +1,142 @@
+"""Tests for the Machine facade: latency mapping, prefetcher, jitter,
+and transfer serialization."""
+
+import pytest
+
+from repro.sim import coherence
+from repro.sim.machine import Machine, PREFETCHED
+from repro.sim.params import LatencyModel, MachineConfig
+
+
+def make(jitter=0, prefetcher=False, window=0):
+    return Machine(MachineConfig(), timing_jitter=jitter,
+                   prefetcher=prefetcher, transfer_window=window)
+
+
+class TestLatencyMapping:
+    def test_cold_then_hit(self):
+        m = make()
+        lat = m.config.latency
+        assert m.access(0, 0x100, False).latency == lat.cold
+        assert m.access(0, 0x104, False).latency == lat.l1_hit
+
+    def test_coherence_write_latency(self):
+        m = make()
+        m.access(0, 0x100, False)
+        out = m.access(1, 0x100, True)
+        assert out.kind == coherence.COHERENCE_WRITE
+        assert out.latency == m.config.latency.coherence_write
+
+    def test_outcome_line_matches_config(self):
+        m = make()
+        out = m.access(0, 0x12345, False)
+        assert out.line == 0x12345 >> 6
+
+    def test_is_coherence_miss_flag(self):
+        m = make()
+        m.access(0, 0x100, True)
+        out = m.access(1, 0x100, True)
+        assert out.is_coherence_miss
+        cold = m.access(0, 0x4000, False)
+        assert not cold.is_coherence_miss
+
+    def test_statistics_accumulate(self):
+        m = make()
+        m.access(0, 0x100, False)
+        m.access(0, 0x104, False)
+        assert m.total_accesses == 2
+        assert m.total_cycles == (m.config.latency.cold
+                                  + m.config.latency.l1_hit)
+        assert m.average_latency() == m.total_cycles / 2
+
+    def test_average_latency_zero_before_accesses(self):
+        assert make().average_latency() == 0.0
+
+    def test_latency_of_exposes_cost_table(self):
+        m = make()
+        assert m.latency_of(coherence.HIT) == m.config.latency.l1_hit
+        assert m.latency_of(PREFETCHED) == m.config.latency.prefetched
+
+
+class TestPrefetcher:
+    def test_sequential_stream_is_prefetched(self):
+        m = make(prefetcher=True)
+        lat = m.config.latency
+        assert m.access(0, 0x000, False).latency == lat.cold
+        # The next line follows a recently-touched line: prefetched.
+        out = m.access(0, 0x040, False)
+        assert out.kind == PREFETCHED
+        assert out.latency == lat.prefetched
+        assert m.prefetch_hits == 1
+
+    def test_random_stride_not_prefetched(self):
+        m = make(prefetcher=True)
+        m.access(0, 0x0000, False)
+        assert m.access(0, 0x4000, False).kind == coherence.COLD
+
+    def test_coherence_misses_never_prefetched(self):
+        # An invalidated line must be re-fetched on demand even if the
+        # access pattern is sequential.
+        m = make(prefetcher=True)
+        m.access(0, 0x000, True)
+        m.access(0, 0x040, True)
+        out = m.access(1, 0x040, True)
+        assert out.kind == coherence.COHERENCE_WRITE
+
+    def test_prefetch_streams_are_per_core(self):
+        m = make(prefetcher=True)
+        m.access(0, 0x000, False)
+        # Core 1 has no stream history at line 0: it pays the shared fetch.
+        out = m.access(1, 0x040, False)
+        assert out.kind == coherence.COLD
+
+
+class TestTimingJitter:
+    def test_zero_jitter_is_exact(self):
+        m = make(jitter=0)
+        m.access(0, 0x100, False)
+        assert m.access(0, 0x100, False).latency == m.config.latency.l1_hit
+
+    def test_jitter_bounded(self):
+        m = Machine(MachineConfig(), timing_jitter=2, prefetcher=False)
+        hit = m.config.latency.l1_hit
+        m.access(0, 0x100, False)
+        seen = {m.access(0, 0x100, False).latency for _ in range(200)}
+        assert seen <= {hit, hit + 1, hit + 2}
+        assert len(seen) > 1  # jitter actually varies
+
+    def test_jitter_deterministic_per_seed(self):
+        def latencies(seed):
+            m = Machine(MachineConfig(), timing_jitter=2, jitter_seed=seed)
+            m.access(0, 0x100, False)
+            return [m.access(0, 0x100, False).latency for _ in range(50)]
+        assert latencies(7) == latencies(7)
+        assert latencies(7) != latencies(8)
+
+
+class TestTransferSerialization:
+    def test_racing_transfer_stalls(self):
+        m = make(window=0)
+        m.access(0, 0x100, True, now=0)
+        first = m.access(1, 0x100, True, now=0)  # transfer completes at t=lat
+        # Another steal before the first transfer completes queues behind it.
+        second = m.access(0, 0x100, True, now=1)
+        base = m.config.latency.coherence_write
+        assert first.latency == base
+        assert second.latency == base + (first.latency - 1)
+        assert m.stall_cycles == first.latency - 1
+
+    def test_no_stall_after_transfer_completes(self):
+        m = make(window=0)
+        m.access(0, 0x100, True, now=0)
+        first = m.access(1, 0x100, True, now=0)
+        out = m.access(0, 0x100, True, now=first.latency + 10)
+        assert out.latency == m.config.latency.coherence_write
+
+    def test_window_extends_pin(self):
+        m = make(window=50)
+        m.access(0, 0x100, True, now=0)
+        first = m.access(1, 0x100, True, now=0)
+        # Request lands inside the ownership window after the transfer.
+        out = m.access(0, 0x100, True, now=first.latency + 10)
+        assert out.latency > m.config.latency.coherence_write

@@ -1,0 +1,102 @@
+"""Tests for fork-join phase tracking (paper Section 3.3 / Figure 3)."""
+
+import pytest
+
+from repro.runtime.phases import Phase, PhaseTracker
+
+
+class TestPhaseBoundaries:
+    def test_starts_in_serial_phase(self):
+        tracker = PhaseTracker()
+        assert not tracker.in_parallel_phase
+        assert tracker.current.kind == "serial"
+
+    def test_spawn_from_main_enters_parallel(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=100)
+        assert tracker.in_parallel_phase
+        assert tracker.phases[0].end == 100
+
+    def test_all_joined_returns_to_serial(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=100)
+        tracker.on_spawn(0, 2, now=110)
+        tracker.on_join(0, 1, now=500)
+        assert tracker.in_parallel_phase  # one child still live
+        tracker.on_join(0, 2, now=600)
+        assert not tracker.in_parallel_phase
+        assert tracker.phases[1].end == 600
+
+    def test_spawn_inside_parallel_extends_same_phase(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=100)
+        tracker.on_spawn(0, 2, now=200)
+        assert len(tracker.parallel_phases()) == 1
+        assert tracker.current.threads == {1, 2}
+
+    def test_two_parallel_phases(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=10)
+        tracker.on_join(0, 1, now=20)
+        tracker.on_spawn(0, 2, now=30)
+        tracker.on_join(0, 2, now=40)
+        tracker.finish(50)
+        kinds = [p.kind for p in tracker.phases]
+        assert kinds == ["serial", "parallel", "serial", "parallel",
+                         "serial"]
+
+    def test_finish_closes_trailing_phase(self):
+        tracker = PhaseTracker()
+        tracker.finish(1234)
+        assert tracker.phases[-1].end == 1234
+        tracker.finish(9999)  # idempotent
+        assert tracker.phases[-1].end == 1234
+
+    def test_phase_lengths_sum_to_total(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=100)
+        tracker.on_join(0, 1, now=400)
+        tracker.finish(500)
+        assert tracker.total_time() == 500
+        lengths = [p.length for p in tracker.phases]
+        assert lengths == [100, 300, 100]
+
+
+class TestForkJoinVerification:
+    def test_flat_fork_join_is_ok(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=1)
+        tracker.on_join(0, 1, now=2)
+        assert tracker.fork_join_ok
+
+    def test_nested_spawn_clears_flag(self):
+        # Cheetah "tracks the creations and joins of threads in order to
+        # verify whether an application belongs to the fork-join model".
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=1)
+        tracker.on_spawn(1, 2, now=2)
+        assert not tracker.fork_join_ok
+
+
+class TestQueries:
+    def test_phase_of_thread(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=10)
+        tracker.on_join(0, 1, now=20)
+        tracker.on_spawn(0, 2, now=30)
+        tracker.on_join(0, 2, now=40)
+        assert tracker.phase_of_thread(1) is tracker.phases[1]
+        assert tracker.phase_of_thread(2) is tracker.phases[3]
+        assert tracker.phase_of_thread(99) is None
+
+    def test_serial_and_parallel_partitions(self):
+        tracker = PhaseTracker()
+        tracker.on_spawn(0, 1, now=10)
+        tracker.on_join(0, 1, now=20)
+        tracker.finish(30)
+        assert len(tracker.serial_phases()) == 2
+        assert len(tracker.parallel_phases()) == 1
+
+    def test_phase_length_zero_while_open(self):
+        phase = Phase(kind="serial", start=10)
+        assert phase.length == 0

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.ownership import OwnershipTracker
+from repro.core.cacheline import TwoEntryTable
+from repro.core.detection import DetectorConfig, FalseSharingDetector
+from repro.heap.allocator import CheetahAllocator
+from repro.pmu.sample import MemorySample
+from repro.sim.coherence import CoherenceDirectory
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.params import MachineConfig
+
+# An access stream: (core/tid in 0..5, line-offset address, is_write).
+accesses = st.lists(
+    st.tuples(st.integers(0, 5),
+              st.integers(0, 8).map(lambda w: 0x1000 + w * 4),
+              st.booleans()),
+    min_size=1, max_size=200)
+
+
+class TestCoherenceInvariants:
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_dirty_owner_always_sole_holder(self, stream):
+        d = CoherenceDirectory(line_shift=6)
+        for core, addr, is_write in stream:
+            d.access(core, addr, is_write)
+            state = d.state_of(addr >> 6)
+            if state.dirty_owner is not None:
+                assert state.holders == {state.dirty_owner}
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_invalidations_never_exceed_writes(self, stream):
+        d = CoherenceDirectory(line_shift=6)
+        writes = 0
+        for core, addr, is_write in stream:
+            d.access(core, addr, is_write)
+            writes += is_write
+        assert d.total_invalidations() <= writes
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_single_core_never_invalidates(self, stream):
+        d = CoherenceDirectory(line_shift=6)
+        for _, addr, is_write in stream:
+            d.access(0, addr, is_write)
+        assert d.total_invalidations() == 0
+
+
+class TestTwoEntryTableInvariants:
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_table_bounded_and_distinct(self, stream):
+        tables = {}
+        for tid, addr, is_write in stream:
+            table = tables.setdefault(addr >> 6, TwoEntryTable())
+            if is_write:
+                table.record_write(tid)
+            else:
+                table.record_read(tid)
+            assert len(table) <= 2
+            assert len(set(table.tids)) == len(table.tids)
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_table_invalidations_bounded_by_ownership_writes(self, stream):
+        """The two-entry table's invalidation count never exceeds the
+        number of cross-thread write transitions plus reads recorded —
+        in particular it never exceeds the total number of writes."""
+        table = TwoEntryTable()
+        writes = 0
+        invalidations = 0
+        for tid, _, is_write in stream:
+            if is_write:
+                writes += 1
+                invalidations += table.record_write(tid)
+            else:
+                table.record_read(tid)
+        assert invalidations <= writes
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_write_only_streams_agree_with_ownership_rule(self, tids):
+        """On pure write streams the two-entry table and the Zhao et al.
+        ownership rule count identically: both fire exactly on writer
+        changes."""
+        table = TwoEntryTable()
+        owner = OwnershipTracker()
+        t_inv = sum(table.record_write(tid) for tid in tids)
+        o_inv = sum(owner.record(0, tid=tid, is_write=True) for tid in tids)
+        assert t_inv == o_inv
+
+
+class TestMachineInvariants:
+    @given(accesses, st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_always_positive_and_bounded(self, stream, jitter):
+        m = Machine(MachineConfig(), timing_jitter=jitter)
+        lat = m.config.latency
+        upper = max(lat.cold, lat.coherence_write) + jitter
+        now = 0
+        for core, addr, is_write in stream:
+            out = m.access(core, addr, is_write, now)
+            assert 0 < out.latency <= upper + m.stall_cycles
+            now += out.latency
+
+
+class TestDetectorInvariants:
+    @given(accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_recorded_never_exceeds_seen(self, stream):
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        for tid, addr, is_write in stream:
+            det.on_sample(MemorySample(tid=tid, core=tid, addr=addr,
+                                       is_write=is_write, latency=5,
+                                       size=4, timestamp=0), True)
+        assert det.samples_recorded <= det.samples_seen
+
+    @given(accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_object_accesses_conserved(self, stream):
+        """Every sample recorded into a detailed line shows up in exactly
+        one object profile."""
+        det = FalseSharingDetector(DetectorConfig(min_invalidations=1))
+        alloc = CheetahAllocator()
+        for tid, addr, is_write in stream:
+            det.on_sample(MemorySample(tid=tid, core=tid, addr=addr,
+                                       is_write=is_write, latency=5,
+                                       size=4, timestamp=0), True)
+        profiles = det.build_objects(alloc, None)
+        for p in profiles:
+            assert p.accesses == sum(p.per_tid_accesses.values())
+            assert p.total_latency == sum(p.per_tid_cycles.values())
+
+
+class TestEngineInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 30)),
+                    min_size=1, max_size=20),
+           st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_random_fork_join_programs_terminate(self, ops, nthreads):
+        """Random loop-shaped fork-join programs always terminate with
+        monotonically consistent clocks."""
+        def worker(api, base):
+            for word, reps in ops:
+                yield from api.loop(base + word * 4, 0, 1, read=True,
+                                    write=True, repeat=reps)
+        def main(api):
+            buf = yield from api.malloc(256)
+            tids = []
+            for i in range(nthreads):
+                tids.append((yield from api.spawn(worker, buf + i * 8)))
+            yield from api.join_all(tids)
+        engine = Engine(machine=Machine(MachineConfig(), timing_jitter=0))
+        result = engine.run(main)
+        for thread in result.threads.values():
+            assert thread.end_clock is not None
+            assert thread.end_clock >= thread.start_clock
+        assert result.runtime >= max(
+            t.end_clock for t in result.threads.values()) - 1
+        # Phase accounting covers the whole run.
+        assert result.phases.total_time() == result.runtime

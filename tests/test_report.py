@@ -1,0 +1,93 @@
+"""Tests for report rendering (Figure 5 format)."""
+
+import pytest
+
+from repro.core.assessment import Assessment
+from repro.core.detection import ObjectProfile, SharingKind
+from repro.core.report import ObjectReport, render_object, render_report
+
+
+def make_report(kind=SharingKind.FALSE_SHARING, obj_kind="heap",
+                label="linear_regression-pthread.c:139"):
+    profile = ObjectProfile(
+        key=(obj_kind, 1), kind=obj_kind, start=0x400004B8,
+        end=0x400044B8, size=4000, label=label)
+    profile.accesses = 1263
+    profile.invalidations = 0x27F
+    profile.writes = 501
+    profile.total_latency = 102988
+    profile.per_tid_accesses = {tid: 300 for tid in range(1, 17)}
+    profile.per_tid_cycles = {tid: 6649 for tid in range(1, 17)}
+    profile.word_summary = {
+        0: {"tids": [1], "reads": 30, "writes": 34, "shared": False},
+        2: {"tids": [1, 2], "reads": 20, "writes": 10, "shared": True},
+    }
+    assessment = Assessment(improvement=5.76172748, real_runtime=7738,
+                            predicted_runtime=1343.0,
+                            aver_nofs_cycles=3.0)
+    return ObjectReport(profile=profile, assessment=assessment, kind=kind)
+
+
+class TestRenderObject:
+    def test_header_fields_match_figure5_format(self):
+        text = render_object(make_report())
+        assert "Detecting false sharing at the object: start 0x400004b8" in text
+        assert "end 0x400044b8 (with size 4000)." in text
+        assert "Accesses 1263" in text
+        # The paper prints invalidations in hex ("27f").
+        assert "invalidations 27f" in text
+        assert "writes 501" in text
+        assert "latency 102988 cycles." in text
+
+    def test_latency_information_block(self):
+        text = render_object(make_report())
+        assert "totalThreads 16" in text
+        # 16 x 300 = 4800 = 0x12c0, printed in hex like the paper's 12e1.
+        assert "totalThreadsAccesses 12c0" in text
+        assert "totalThreadsCycles 106384" in text
+        assert "totalPossibleImprovementRate 576.172748%" in text
+        assert "(realRuntime 7738 predictedRuntime 1343)." in text
+
+    def test_heap_callsite_printed(self):
+        text = render_object(make_report())
+        assert "It is a heap object with the following callsite:" in text
+        assert "linear_regression-pthread.c:139" in text
+
+    def test_global_name_printed(self):
+        report = make_report(obj_kind="global", label="thread_stats")
+        text = render_object(report)
+        assert "global variable 'thread_stats'" in text
+
+    def test_word_level_map(self):
+        text = render_object(make_report())
+        assert "word    +0" in text
+        assert "[shared word]" in text
+
+    def test_words_can_be_suppressed(self):
+        text = render_object(make_report(), include_words=False)
+        assert "word " not in text
+
+    def test_true_sharing_label(self):
+        text = render_object(make_report(kind=SharingKind.TRUE_SHARING))
+        assert text.startswith("Detecting true sharing")
+
+    def test_str_dunder(self):
+        assert "false sharing" in str(make_report())
+
+
+class TestRenderReport:
+    def test_empty_report(self):
+        text = render_report([], runtime=12345)
+        assert "No significant false sharing detected." in text
+        assert "12345" in text
+
+    def test_full_report_lists_instances(self):
+        text = render_report([make_report(), make_report()], runtime=99,
+                             fork_join_ok=True)
+        assert text.count("--- instance") == 2
+        assert "significant instances: 2" in text
+        assert "fork-join model: verified" in text
+
+    def test_non_fork_join_flagged(self):
+        text = render_report([make_report()], runtime=1, fork_join_ok=False)
+        assert "NOT fork-join" in text

@@ -1,0 +1,86 @@
+"""Tests for the experiment runner helpers and the full-report driver."""
+
+import math
+
+import pytest
+
+from repro.experiments import full_report
+from repro.experiments.runner import (
+    RunOutcome,
+    format_table,
+    measure_overhead,
+    measure_predicted_improvement,
+    measure_real_improvement,
+    run_workload,
+)
+from repro.workloads.micro import ArrayIncrement
+from repro.workloads.parsec import Swaptions
+
+
+class TestRunWorkload:
+    def test_plain_run_has_no_report(self):
+        out = run_workload(ArrayIncrement(num_threads=2, scale=0.1))
+        assert out.report is None
+        assert out.runtime == out.result.runtime
+
+    def test_cheetah_run_has_report(self):
+        out = run_workload(ArrayIncrement(num_threads=2, scale=0.1),
+                           with_cheetah=True)
+        assert out.report is not None
+
+    def test_jitter_seed_changes_runtime(self):
+        a = run_workload(ArrayIncrement(num_threads=4, scale=0.2),
+                         jitter_seed=1).runtime
+        b = run_workload(ArrayIncrement(num_threads=4, scale=0.2),
+                         jitter_seed=2).runtime
+        assert a != b  # contention is jitter-sensitive
+
+
+class TestMeasurements:
+    def test_real_improvement_above_one_for_fs_workload(self):
+        value = measure_real_improvement(
+            ArrayIncrement, num_threads=8, scale=0.2, seeds=(1, 2))
+        assert value > 2.0
+
+    def test_real_improvement_about_one_for_clean_workload(self):
+        value = measure_real_improvement(
+            Swaptions, num_threads=8, scale=0.1, seeds=(1,))
+        assert value == pytest.approx(1.0, abs=0.05)
+
+    def test_predicted_improvement_nan_when_nothing_found(self):
+        value = measure_predicted_improvement(
+            Swaptions, num_threads=8, scale=0.1, seeds=(1,))
+        assert math.isnan(value)
+
+    def test_overhead_above_one(self):
+        value = measure_overhead(Swaptions, num_threads=8, scale=0.1,
+                                 seeds=(1,))
+        assert value > 1.0
+
+
+class TestFormatTable:
+    def test_single_column(self):
+        text = format_table(["x"], [["a"], ["bb"]])
+        assert text.splitlines()[0] == "x "
+
+    def test_numbers_stringified(self):
+        text = format_table(["n"], [[1], [22]])
+        assert "22" in text
+
+
+class TestFullReport:
+    def test_all_sections_present(self):
+        report = full_report.run(scale=0.05)
+        titles = [title for title, _, _ in report.sections]
+        assert len(titles) == len(full_report.SECTIONS)
+        assert any("Table 1" in t for t in titles)
+        text = report.render()
+        assert "full evaluation" in text
+        headers = [line for line in text.splitlines()
+                   if line.startswith("### ")]
+        assert len(headers) == len(titles)
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        full_report.run(scale=0.05, progress=seen.append)
+        assert len(seen) == len(full_report.SECTIONS)

@@ -1,0 +1,27 @@
+"""Tests for the thread-scaling experiment."""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scaling.run(scale=0.25, thread_counts=(2, 8, 16))
+
+    def test_damage_grows_from_low_to_high_parallelism(self, result):
+        damages = [r.damage for r in result.rows]
+        assert damages[0] < damages[-1]
+        assert all(d > 1.5 for d in damages)
+
+    def test_fixed_runtime_roughly_flat(self, result):
+        # The fixed program scales: its runtime stays within a small
+        # factor while the buggy one balloons.
+        fixed = [r.fixed_runtime for r in result.rows]
+        assert max(fixed) < 2.5 * min(fixed)
+
+    def test_render_contains_chart(self, result):
+        text = result.render()
+        assert "FS damage" in text
+        assert "#" in text

@@ -1,0 +1,79 @@
+"""Tests for MachineConfig and LatencyModel validation and helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.params import LatencyModel, MachineConfig
+
+
+class TestLatencyModel:
+    def test_defaults_validate(self):
+        LatencyModel().validate()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(l1_hit=0).validate()
+
+    def test_negative_cold_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(cold=-5).validate()
+
+    def test_hit_must_be_cheaper_than_shared(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(l1_hit=50, shared_clean=40).validate()
+
+    def test_shared_must_be_cheaper_than_coherence_write(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(shared_clean=100, coherence_write=65).validate()
+
+    def test_ordering_of_defaults(self):
+        lat = LatencyModel()
+        assert lat.l1_hit < lat.shared_clean < lat.coherence_write
+        assert lat.l1_hit < lat.coherence_read
+        assert lat.prefetched < lat.shared_clean
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.num_cores == 48  # the paper's AMD Opteron
+        assert cfg.cache_line_size == 64
+        assert cfg.word_size == 4
+
+    def test_line_shift(self):
+        assert MachineConfig(cache_line_size=64).line_shift == 6
+        assert MachineConfig(cache_line_size=32).line_shift == 5
+        assert MachineConfig(cache_line_size=128).line_shift == 7
+
+    def test_line_of(self):
+        cfg = MachineConfig(cache_line_size=64)
+        assert cfg.line_of(0) == 0
+        assert cfg.line_of(63) == 0
+        assert cfg.line_of(64) == 1
+        assert cfg.line_of(0x40000000) == 0x40000000 >> 6
+
+    def test_word_of(self):
+        cfg = MachineConfig()
+        assert cfg.word_of(0) == 0
+        assert cfg.word_of(3) == 0
+        assert cfg.word_of(4) == 1
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(cache_line_size=48)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0)
+
+    def test_line_smaller_than_word_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(cache_line_size=2, word_size=4)
+
+    def test_invalid_word_size_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(word_size=3)
+
+    def test_invalid_latency_rejected_via_config(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(latency=LatencyModel(l1_hit=-1))

@@ -1,0 +1,83 @@
+"""Tests for the global symbol table."""
+
+import pytest
+
+from repro.errors import SymbolError
+from repro.symbols.table import SymbolTable
+
+
+class TestDefinition:
+    def test_define_returns_address_in_segment(self):
+        table = SymbolTable()
+        addr = table.define("counter", 4)
+        assert table.contains(addr)
+
+    def test_layout_is_sequential(self):
+        table = SymbolTable(align=4)
+        a = table.define("a", 4)
+        b = table.define("b", 4)
+        assert b == a + 4  # adjacent words: the classic globals FS hazard
+
+    def test_alignment_respected(self):
+        table = SymbolTable()
+        table.define("pad", 3)
+        addr = table.define("aligned", 64, align=64)
+        assert addr % 64 == 0
+
+    def test_duplicate_name_rejected(self):
+        table = SymbolTable()
+        table.define("x", 4)
+        with pytest.raises(SymbolError):
+            table.define("x", 4)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolTable().define("x", 0)
+
+    def test_segment_exhaustion(self):
+        table = SymbolTable(size=64)
+        table.define("big", 64)
+        with pytest.raises(SymbolError):
+            table.define("more", 1)
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        table = SymbolTable()
+        addr = table.define("array", 4000)
+        symbol = table.lookup("array")
+        assert symbol.addr == addr and symbol.size == 4000
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SymbolError):
+            SymbolTable().lookup("nope")
+
+    def test_find_by_address(self):
+        table = SymbolTable()
+        addr = table.define("array", 100)
+        assert table.find(addr).name == "array"
+        assert table.find(addr + 99).name == "array"
+        assert table.find(addr + 100) is None
+
+    def test_find_between_symbols(self):
+        table = SymbolTable(align=64)
+        a = table.define("a", 4)
+        b = table.define("b", 4, align=64)
+        assert table.find(a + 10) is None  # padding gap
+
+    def test_symbols_listing_in_order(self):
+        table = SymbolTable()
+        table.define("one", 4)
+        table.define("two", 4)
+        assert [s.name for s in table.symbols()] == ["one", "two"]
+
+    def test_contains_bounds(self):
+        table = SymbolTable()
+        assert not table.contains(table.base - 1)
+        assert table.contains(table.base)
+        assert not table.contains(table.end)
+
+    def test_str_render(self):
+        table = SymbolTable()
+        table.define("x", 8)
+        assert "x" in str(table.lookup("x"))

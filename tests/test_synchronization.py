@@ -1,0 +1,102 @@
+"""Tests for the synchronisation-limitation study and the extended
+(future-work) assessment model."""
+
+import pytest
+
+from repro.core.assessment import (
+    AssessmentConfig, ThreadObservation, assess_object,
+)
+from repro.core.detection import ObjectProfile
+from repro.experiments import synchronization
+from repro.runtime.phases import PhaseTracker
+
+
+class TestExtendedModelUnit:
+    def _assess(self, extended, runtime=10_000, waits=0, overhead=0,
+                sampled_cycles=100, sampled_on_o=90, accesses_on_o=30,
+                period=10.0):
+        p = ObjectProfile(key=("heap", 1), kind="heap", start=0, end=64,
+                          size=64, label="x.c:1")
+        p.per_tid_cycles = {1: sampled_on_o}
+        p.per_tid_accesses = {1: accesses_on_o}
+        obs = {1: ThreadObservation(tid=1, runtime=runtime, accesses=40,
+                                    cycles=sampled_cycles,
+                                    barrier_waits=waits,
+                                    profiler_overhead=overhead)}
+        t = PhaseTracker()
+        t.on_spawn(0, 1, now=0)
+        t.on_join(0, 1, now=runtime)
+        t.finish(runtime)
+        cfg = AssessmentConfig(model_sync_and_compute=extended)
+        return assess_object(p, obs, t, aver_nofs=2.0, config=cfg,
+                             sampling_period=period)
+
+    def test_extension_off_matches_eq3(self):
+        a = self._assess(extended=False)
+        # EQ3: (100 - 90 + 2*30)/100 * 10000 = 7000.
+        assert a.pred_rt_per_thread[1] == pytest.approx(7000.0)
+
+    def test_extension_decomposes_runtime(self):
+        a = self._assess(extended=True)
+        # mem = 100*10 = 1000; compute = 10000 - 1000 = 9000;
+        # pred_mem = (100-90+60)*10 = 700 -> 9700.
+        assert a.pred_rt_per_thread[1] == pytest.approx(9700.0)
+
+    def test_extension_excludes_barrier_waits(self):
+        a = self._assess(extended=True, waits=4000)
+        # compute = 10000 - 4000 - 1000 = 5000 -> 5000 + 700.
+        assert a.pred_rt_per_thread[1] == pytest.approx(5700.0)
+
+    def test_extension_subtracts_profiler_overhead(self):
+        a = self._assess(extended=True, overhead=2000)
+        assert a.pred_rt_per_thread[1] == pytest.approx(7700.0)
+
+    def test_extension_requires_period(self):
+        a_no_period = None
+        p = ObjectProfile(key=("heap", 1), kind="heap", start=0, end=64,
+                          size=64, label="x.c:1")
+        p.per_tid_cycles = {1: 90}
+        p.per_tid_accesses = {1: 30}
+        obs = {1: ThreadObservation(tid=1, runtime=10_000, accesses=40,
+                                    cycles=100)}
+        t = PhaseTracker()
+        t.finish(10_000)
+        cfg = AssessmentConfig(model_sync_and_compute=True)
+        a = assess_object(p, obs, t, aver_nofs=2.0, config=cfg,
+                          sampling_period=None)
+        # Falls back to EQ3 silently without a period.
+        assert a.pred_rt_per_thread[1] == pytest.approx(7000.0)
+
+    def test_compute_clamped_non_negative(self):
+        # Estimated memory exceeding runtime must not go negative.
+        a = self._assess(extended=True, runtime=500, sampled_cycles=100,
+                         period=10.0)
+        assert a.pred_rt_per_thread[1] >= 0
+
+
+class TestSyncExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return synchronization.run(imbalances=(0, 8000))
+
+    def test_wait_fraction_grows_with_imbalance(self, result):
+        assert result.rows[0].wait_fraction < result.rows[1].wait_fraction
+
+    def test_paper_model_fails_under_sync_domination(self, result):
+        # The documented limitation: EQ3's error explodes.
+        assert abs(result.rows[1].error_percent) > 100
+
+    def test_extended_model_fixes_that_regime(self, result):
+        worst = result.rows[1]
+        assert (abs(worst.extended_error_percent)
+                < abs(worst.error_percent) / 3)
+
+    def test_real_improvement_shrinks_with_imbalance(self, result):
+        # Amdahl: the imbalanced thread's compute dominates both runs.
+        assert result.rows[1].real_improvement < \
+            result.rows[0].real_improvement
+
+    def test_render(self, result):
+        text = result.render()
+        assert "future work" in text
+        assert "extended model" in text

@@ -1,0 +1,162 @@
+"""Per-workload structural tests: each synthetic benchmark must keep the
+properties its role in the evaluation depends on."""
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.workloads import get_workload
+from repro.workloads.parsec import StreamCluster, X264
+from repro.workloads.phoenix import KMeans, LinearRegression, PCA
+
+TINY = 0.1
+
+
+class TestLinearRegressionGeometry:
+    def test_struct_size_is_papers_56_bytes(self):
+        assert LinearRegression.STRUCT_SIZE == 56
+        assert LinearRegression(num_threads=8).struct_stride == 56
+
+    def test_fixed_struct_is_one_line(self):
+        assert LinearRegression(num_threads=8, fixed=True).struct_stride == 64
+
+    def test_five_accumulator_fields(self):
+        # SX, SXX, SY, SYY, SXY — the fields of Figure 6.
+        assert LinearRegression.FIELDS == 5
+
+    def test_total_points_split_across_threads(self):
+        for n in (2, 4, 16):
+            wl = LinearRegression(num_threads=n)
+            assert wl.points_per_thread == LinearRegression.TOTAL_POINTS // n
+
+    def test_iterations_preserved_across_thread_counts(self):
+        # Per-thread kernel iterations stay ~constant so runtimes are
+        # comparable across the Table 1 thread sweep.
+        iters = [LinearRegression(num_threads=n).points_per_thread
+                 * LinearRegression(num_threads=n).repeat
+                 for n in (2, 4, 8, 16)]
+        assert max(iters) <= 1.1 * min(iters)
+
+    def test_unfixed_neighbours_share_lines(self):
+        out = run_workload(LinearRegression(num_threads=4, scale=TINY),
+                           jitter_seed=1)
+        alloc = out.result.allocator
+        args = [a for a in alloc.all_allocations()
+                if "139" in a.callsite][0]
+        # struct 0 and struct 1 overlap in the same 64B line.
+        assert (args.addr >> 6) == ((args.addr + 56) >> 6)
+
+    def test_fixed_neighbours_do_not_share(self):
+        out = run_workload(
+            LinearRegression(num_threads=4, scale=TINY, fixed=True),
+            jitter_seed=1)
+        alloc = out.result.allocator
+        args = [a for a in alloc.all_allocations()
+                if "139" in a.callsite][0]
+        assert (args.addr >> 6) != ((args.addr + 64) >> 6)
+
+
+class TestStreamClusterGeometry:
+    def test_slot_is_the_wrong_32_byte_padding(self):
+        assert StreamCluster.SLOT_BYTES == 32
+
+    def test_two_slots_per_64_byte_line(self):
+        out = run_workload(StreamCluster(num_threads=4, scale=TINY),
+                           jitter_seed=1)
+        alloc = out.result.allocator
+        work_mem = [a for a in alloc.all_allocations()
+                    if "985" in a.callsite][0]
+        assert (work_mem.addr >> 6) == ((work_mem.addr + 32) >> 6)
+
+    def test_custom_fixed_stride(self):
+        wl = StreamCluster(fixed=True, fixed_slot_bytes=128)
+        assert wl.slot_stride == 128
+
+    def test_updates_every_iteration(self):
+        # pgain updates work_mem on every pass; the detection budget
+        # depends on it.
+        assert StreamCluster.UPDATE_EVERY == 1
+
+
+class TestThreadHeavyStructure:
+    def test_kmeans_iteration_count_gives_224_threads(self):
+        assert KMeans.ITERATIONS * 16 == 224
+
+    def test_kmeans_phase_structure(self):
+        out = run_workload(KMeans(scale=TINY), jitter_seed=1)
+        phases = out.result.phases
+        assert len(phases.parallel_phases()) == KMeans.ITERATIONS
+        # Serial centroid updates between iterations.
+        assert len(phases.serial_phases()) == KMeans.ITERATIONS + 1
+
+    def test_x264_frame_count_gives_1024_threads(self):
+        assert X264.FRAMES * 16 == 1024
+
+    def test_pca_has_two_parallel_phases(self):
+        out = run_workload(PCA(num_threads=8, scale=TINY), jitter_seed=1)
+        assert len(out.result.phases.parallel_phases()) == 2
+
+
+class TestSharedReadOnlyWorkloads:
+    @pytest.mark.parametrize("name", ["matrix_multiply", "freqmine",
+                                      "bodytrack", "fluidanimate"])
+    def test_shared_reads_cause_no_hot_invalidations(self, name):
+        # These applications share data read-only (matrices, trees,
+        # models, boundaries): sharing yes, invalidation storms no.
+        out = run_workload(get_workload(name)(num_threads=8, scale=0.25),
+                           jitter_seed=1)
+        hot = out.result.machine.directory.lines_with_invalidations(30)
+        assert hot == {}
+
+
+class TestFigure7TrioStructure:
+    @pytest.mark.parametrize("name,symbol", [
+        ("histogram", "thread_stats"),
+        ("reverse_index", "link_counts"),
+        ("word_count", "word_totals"),
+    ])
+    def test_contested_global_is_adjacent_words(self, name, symbol):
+        from repro.symbols.table import SymbolTable
+        wl = get_workload(name)(num_threads=16)
+        table = SymbolTable()
+        wl.setup(table)
+        sym = table.lookup(symbol)
+        assert sym.size == 16 * 4  # adjacent 4-byte counters
+
+    @pytest.mark.parametrize("name,symbol", [
+        ("histogram", "thread_stats"),
+        ("reverse_index", "link_counts"),
+        ("word_count", "word_totals"),
+    ])
+    def test_fixed_variant_pads_counters(self, name, symbol):
+        from repro.symbols.table import SymbolTable
+        wl = get_workload(name)(num_threads=16, fixed=True)
+        table = SymbolTable()
+        wl.setup(table)
+        assert table.lookup(symbol).size == 16 * 64
+
+    @pytest.mark.parametrize("name", ["histogram", "reverse_index",
+                                      "word_count"])
+    def test_global_invalidations_present_but_modest(self, name):
+        out = run_workload(get_workload(name)(num_threads=16, scale=0.5),
+                           jitter_seed=1)
+        directory = out.result.machine.directory
+        symbols = out.result.symbols
+        counter_invals = 0
+        shift = out.result.machine.config.line_shift
+        for line, count in directory.lines_with_invalidations(1).items():
+            if symbols.contains(line << shift):
+                counter_invals += count
+        # Real (Predator-detectable) but far below linear_regression's
+        # thousands.
+        assert 10 < counter_invals < 600
+
+
+class TestCannealDiffusion:
+    def test_no_single_line_dominates(self):
+        out = run_workload(get_workload("canneal")(num_threads=8,
+                                                   scale=0.5),
+                           jitter_seed=1)
+        counts = list(out.result.machine.directory
+                      .lines_with_invalidations(1).values())
+        if counts:  # collisions are rare and spread out
+            assert max(counts) < 30

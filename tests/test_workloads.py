@@ -1,0 +1,191 @@
+"""Tests for the synthetic workload suite."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import run_workload
+from repro.workloads import (
+    FIGURE4_NAMES, PARSEC_NAMES, PHOENIX_NAMES,
+    all_workload_names, get_workload,
+)
+from repro.workloads.base import Workload, register
+from repro.workloads.micro import ArrayIncrement
+from repro.workloads.phoenix import (
+    LINEAR_REGRESSION_CALLSITE, LinearRegression,
+)
+from repro.workloads.parsec import StreamCluster
+
+TINY = 0.08  # scale used for fast full-suite runs
+
+
+class TestRegistry:
+    def test_all_seventeen_figure4_apps_registered(self):
+        assert len(FIGURE4_NAMES) == 17
+        for name in FIGURE4_NAMES:
+            assert get_workload(name) is not None
+
+    def test_suites_partition_figure4(self):
+        assert sorted(FIGURE4_NAMES) == sorted(PHOENIX_NAMES + PARSEC_NAMES)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ConfigError):
+            get_workload("doom")
+
+    def test_micro_registered_but_not_in_figure4(self):
+        assert "array_increment" in all_workload_names()
+        assert "array_increment" not in FIGURE4_NAMES
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            @register
+            class Dup(Workload):
+                name = "histogram"
+                def main(self, api):
+                    yield from api.work(1)
+
+    def test_nameless_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            @register
+            class NoName(Workload):
+                def main(self, api):
+                    yield from api.work(1)
+
+
+class TestBaseClass:
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrayIncrement(num_threads=0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrayIncrement(scale=0)
+
+    def test_scaled_minimum(self):
+        w = ArrayIncrement(scale=1e-9)
+        assert w.scaled(100) == 1
+
+    def test_chunks_cover_range(self):
+        w = ArrayIncrement()
+        chunks = w.chunks(103, 8)
+        assert sum(c for _, c in chunks) == 103
+        assert chunks[0][0] == 0
+        ends = [s + c for s, c in chunks]
+        starts = [s for s, _ in chunks[1:]]
+        assert starts == ends[:-1]
+
+    def test_describe_and_repr(self):
+        w = LinearRegression(num_threads=4, fixed=True)
+        assert "linear_regression" in w.describe()
+        assert "fixed layout" in repr(w)
+
+
+class TestAllWorkloadsRun:
+    @pytest.mark.parametrize("name", FIGURE4_NAMES)
+    def test_runs_and_produces_accesses(self, name):
+        cls = get_workload(name)
+        outcome = run_workload(cls(scale=TINY), jitter_seed=1)
+        assert outcome.runtime > 0
+        assert outcome.result.total_accesses > 0
+        # Every thread finished (the engine would raise otherwise) and
+        # the program conformed to the fork-join model.
+        assert outcome.result.phases.fork_join_ok
+
+    @pytest.mark.parametrize("name", FIGURE4_NAMES)
+    def test_fixed_variant_runs(self, name):
+        cls = get_workload(name)
+        outcome = run_workload(cls(scale=TINY, fixed=True), jitter_seed=1)
+        assert outcome.runtime > 0
+
+    @pytest.mark.parametrize("name", FIGURE4_NAMES)
+    def test_deterministic_given_seed(self, name):
+        cls = get_workload(name)
+        a = run_workload(cls(scale=TINY), jitter_seed=5).runtime
+        b = run_workload(cls(scale=TINY), jitter_seed=5).runtime
+        assert a == b
+
+
+class TestDocumentedFalseSharing:
+    def test_flags_match_paper(self):
+        documented = {name for name in FIGURE4_NAMES
+                      if get_workload(name).documented_false_sharing}
+        assert documented == {"linear_regression", "streamcluster",
+                              "histogram", "reverse_index", "word_count"}
+        significant = {name for name in FIGURE4_NAMES
+                       if get_workload(name).significant_false_sharing}
+        assert significant == {"linear_regression", "streamcluster"}
+
+    def test_linear_regression_ground_truth_invalidations(self):
+        out = run_workload(LinearRegression(num_threads=8, scale=0.25),
+                           jitter_seed=1)
+        assert out.result.machine.directory.total_invalidations() > 500
+
+    def test_linear_regression_fix_removes_invalidations(self):
+        out = run_workload(
+            LinearRegression(num_threads=8, scale=0.25, fixed=True),
+            jitter_seed=1)
+        # The padded layout leaves only incidental sharing (points init).
+        assert out.result.machine.directory.total_invalidations() < 50
+
+    def test_linear_regression_fix_speeds_up(self):
+        orig = run_workload(LinearRegression(num_threads=8, scale=0.25),
+                            jitter_seed=1)
+        fixed = run_workload(
+            LinearRegression(num_threads=8, scale=0.25, fixed=True),
+            jitter_seed=1)
+        assert orig.runtime / fixed.runtime > 2.0
+
+    def test_streamcluster_fix_small_but_real(self):
+        orig = run_workload(StreamCluster(num_threads=8, scale=0.5),
+                            jitter_seed=1)
+        fixed = run_workload(
+            StreamCluster(num_threads=8, scale=0.5, fixed=True),
+            jitter_seed=1)
+        ratio = orig.runtime / fixed.runtime
+        assert 1.0 < ratio < 1.3
+
+    def test_streamcluster_slot_stride_is_32_bytes(self):
+        # The authors' wrong CACHE_LINE macro.
+        assert StreamCluster().slot_stride == 32
+        assert StreamCluster(fixed=True).slot_stride == 64
+
+    def test_lr_callsite_constant_matches_paper(self):
+        assert LINEAR_REGRESSION_CALLSITE == "linear_regression-pthread.c:139"
+
+    def test_no_fs_workload_has_no_hot_invalidated_lines(self):
+        cls = get_workload("blackscholes")
+        out = run_workload(cls(scale=0.3), jitter_seed=1)
+        hot = out.result.machine.directory.lines_with_invalidations(20)
+        assert hot == {}
+
+
+class TestThreadHeavyWorkloads:
+    def test_kmeans_spawns_224_threads(self):
+        out = run_workload(get_workload("kmeans")(scale=TINY),
+                           jitter_seed=1)
+        assert len(out.result.threads) == 1 + 14 * 16  # main + 224
+
+    def test_x264_spawns_1024_threads(self):
+        out = run_workload(get_workload("x264")(scale=TINY), jitter_seed=1)
+        assert len(out.result.threads) == 1 + 64 * 16
+
+
+class TestMicro:
+    def test_thread_count_capped_by_elements(self):
+        w = ArrayIncrement(num_threads=64)
+        assert w.num_threads == w.total_elements
+
+    def test_unfixed_layout_shares_one_line(self):
+        w = ArrayIncrement(num_threads=8)
+        assert w.element_stride() == 4
+
+    def test_fixed_layout_one_line_per_element(self):
+        w = ArrayIncrement(num_threads=8, fixed=True)
+        assert w.element_stride() == 64
+
+    def test_false_sharing_slowdown_exists(self):
+        orig = run_workload(ArrayIncrement(num_threads=8, scale=0.15),
+                            jitter_seed=1)
+        fixed = run_workload(
+            ArrayIncrement(num_threads=8, scale=0.15, fixed=True),
+            jitter_seed=1)
+        assert orig.runtime / fixed.runtime > 3.0
