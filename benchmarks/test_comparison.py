@@ -5,7 +5,11 @@ the Figure 7 trio) at roughly 6x overhead; Cheetah detects the two
 significant instances at a few percent overhead.
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import comparison
 
 

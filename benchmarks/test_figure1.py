@@ -5,7 +5,11 @@ expectation as threads increase, reaching roughly an order of magnitude
 (~13x) at 8 threads.
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import figure1
 
 

@@ -8,7 +8,11 @@ exceed 20% because of per-thread PMU setup.
 
 import statistics
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import figure4
 
 

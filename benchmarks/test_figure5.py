@@ -6,7 +6,11 @@ improvement in the multiple-x range (paper: 5.76x), including word-level
 access breakdown.
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import figure5
 
 

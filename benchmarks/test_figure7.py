@@ -6,7 +6,11 @@ reverse_index and word_count changes runtime by well under a percent
 with scale), and Cheetah deliberately reports none of them.
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import figure7
 
 

@@ -6,7 +6,11 @@ shared object is contended — "adding more cores ... will further
 degrade the performance".
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import scaling
 
 

@@ -8,7 +8,11 @@ more at simulation scale, where each run has ~10^3 samples instead of
 the paper's ~10^6).
 """
 
+import pytest
+
 from conftest import report
+
+pytestmark = pytest.mark.slow
 from repro.experiments import table1
 
 

@@ -1,0 +1,160 @@
+"""Perf-regression harness: simulated-accesses-per-second over time.
+
+Measures two things and records them in ``BENCH_engine.json`` at the
+repo root so successive PRs can track the engine's perf trajectory:
+
+- **throughput**: simulated accesses per wall-clock second for a native
+  and a Cheetah-profiled run of representative workloads (the hot path
+  every experiment funnels through);
+- **experiment wall-clock**: seconds to regenerate small experiment
+  configurations end-to-end.
+
+All simulated outputs are deterministic; only the wall-clock measurement
+varies run to run, so every metric is the best of ``repeats`` runs.
+
+Use via ``python tools/bench.py`` or ``repro bench``. The JSON file
+holds a list of entries; the first entry is the pre-optimisation
+baseline and every run appends (unless ``--no-update``) and prints the
+speedup against both the baseline and the previous entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import scaling
+from repro.experiments.runner import run_workload
+from repro.workloads import get_workload
+
+BENCH_FILE = "BENCH_engine.json"
+
+#: (key, workload, threads, scale, profiled) throughput scenarios.
+THROUGHPUT_SCENARIOS = (
+    ("linear_regression/native", "linear_regression", 8, 1.0, False),
+    ("linear_regression/cheetah", "linear_regression", 8, 1.0, True),
+    ("histogram/native", "histogram", 8, 1.0, False),
+)
+
+SEED = 11
+
+
+def _measure_throughput(name: str, threads: int, scale: float,
+                        profiled: bool, repeats: int) -> Dict[str, float]:
+    cls = get_workload(name)
+    best_rate = 0.0
+    accesses = 0
+    for _ in range(repeats):
+        workload = cls(num_threads=threads, scale=scale)
+        start = time.perf_counter()
+        outcome = run_workload(workload, jitter_seed=SEED,
+                               with_cheetah=profiled)
+        elapsed = time.perf_counter() - start
+        accesses = outcome.result.total_accesses
+        best_rate = max(best_rate, accesses / elapsed)
+    return {"accesses": accesses, "accesses_per_sec": round(best_rate, 1)}
+
+
+def _measure_wall(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return round(best, 4)
+
+
+def run_bench(repeats: int = 3) -> Dict[str, object]:
+    """Run every benchmark once; returns the entry dict (no file I/O)."""
+    throughput = {
+        key: _measure_throughput(name, threads, scale, profiled, repeats)
+        for key, name, threads, scale, profiled in THROUGHPUT_SCENARIOS
+    }
+    experiments = {
+        "scaling(scale=0.1)": _measure_wall(
+            lambda: scaling.run(scale=0.1, thread_counts=(2, 4, 8)),
+            repeats),
+    }
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "throughput": throughput,
+        "experiments": experiments,
+    }
+
+
+def load_entries(path: Path) -> List[Dict[str, object]]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())["entries"]
+
+
+def save_entries(path: Path, entries: Sequence[Dict[str, object]]) -> None:
+    path.write_text(json.dumps({"entries": list(entries)}, indent=1) + "\n")
+
+
+def _rate(entry: Dict[str, object], key: str) -> Optional[float]:
+    scenario = entry.get("throughput", {}).get(key)
+    return scenario["accesses_per_sec"] if scenario else None
+
+
+def render_comparison(entries: Sequence[Dict[str, object]],
+                      current: Dict[str, object]) -> str:
+    lines = []
+    for key, _, _, _, _ in THROUGHPUT_SCENARIOS:
+        now = _rate(current, key)
+        parts = [f"{key:<28} {now:>12,.0f} acc/s"]
+        if entries:
+            base = _rate(entries[0], key)
+            if base:
+                parts.append(f"{now / base:5.2f}x vs baseline"
+                             f" [{entries[0].get('label', '#0')}]")
+            if len(entries) > 1:
+                prev = _rate(entries[-1], key)
+                if prev:
+                    parts.append(f"{now / prev:5.2f}x vs previous")
+        lines.append("  ".join(parts))
+    for name, wall in current.get("experiments", {}).items():
+        parts = [f"{name:<28} {wall:>11.3f}s wall"]
+        if entries:
+            base = entries[0].get("experiments", {}).get(name)
+            if base:
+                parts.append(f"{base / wall:5.2f}x vs baseline")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Engine perf-regression bench; records "
+                    f"{BENCH_FILE} at the repo root.")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats per metric (best is kept)")
+    parser.add_argument("--label", default="current",
+                        help="label stored with this entry")
+    parser.add_argument("--no-update", action="store_true",
+                        help="measure and compare without rewriting "
+                             f"{BENCH_FILE}")
+    parser.add_argument("--path", type=Path, default=None,
+                        help=f"override the {BENCH_FILE} location")
+    args = parser.parse_args(argv)
+
+    path = args.path or Path(__file__).resolve().parents[2] / BENCH_FILE
+    entries = load_entries(path)
+    entry = run_bench(repeats=args.repeats)
+    entry["label"] = args.label
+    print(render_comparison(entries, entry))
+    if not args.no_update:
+        save_entries(path, list(entries) + [entry])
+        print(f"recorded entry '{args.label}' -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ from repro.baselines.sheriff import SheriffDetector
 from repro.core.profiler import CheetahConfig
 from repro.experiments import (
     assumptions, comparison, figure1, figure4, figure5, figure7, linesize,
-    scaling, synchronization, table1,
+    parallel, scaling, synchronization, table1,
 )
 from repro.experiments.runner import run_workload
 from repro.pmu.sampler import PMUConfig
@@ -103,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS),
                        help="which artifact to regenerate")
     exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent experiment cells over N processes "
+             f"(supported: {', '.join(sorted(parallel.RUNNERS))}; "
+             "default: serial)")
+
+    bench_p = sub.add_parser(
+        "bench", help="run the engine perf-regression bench "
+                      "(records BENCH_engine.json)")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="wall-clock repeats per metric (best kept)")
+    bench_p.add_argument("--label", default="current",
+                         help="label stored with this entry")
+    bench_p.add_argument("--no-update", action="store_true",
+                         help="measure and compare without rewriting "
+                              "BENCH_engine.json")
     return parser
 
 
@@ -210,9 +226,27 @@ def cmd_compare(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    jobs = getattr(args, "jobs", None)
+    if jobs and jobs > 1:
+        runner = parallel.RUNNERS.get(args.name)
+        if runner is None:
+            print(f"note: '{args.name}' has no parallel runner; "
+                  "running serially", file=sys.stderr)
+        else:
+            result = runner(scale=args.scale, jobs=jobs)
+            print(result.render())
+            return 0
     result = EXPERIMENTS[args.name](args)
     print(result.render())
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro import bench
+    argv = ["--repeats", str(args.repeats), "--label", args.label]
+    if args.no_update:
+        argv.append("--no-update")
+    return bench.main(argv)
 
 
 COMMANDS = {
@@ -222,6 +256,7 @@ COMMANDS = {
     "fix-check": cmd_fix_check,
     "compare": cmd_compare,
     "experiment": cmd_experiment,
+    "bench": cmd_bench,
 }
 
 

@@ -105,6 +105,16 @@ class FalseSharingDetector:
     def __init__(self, config: Optional[DetectorConfig] = None,
                  line_size: int = 64, word_size: int = 4):
         self.config = config or DetectorConfig()
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(
+                f"line_size must be a power of two, got {line_size}")
+        if word_size <= 0 or word_size & (word_size - 1):
+            raise ConfigError(
+                f"word_size must be a power of two, got {word_size}")
+        if word_size > line_size:
+            raise ConfigError(
+                f"word_size ({word_size}) cannot exceed line_size "
+                f"({line_size})")
         self.line_size = line_size
         self.word_size = word_size
         self._line_shift = line_size.bit_length() - 1

@@ -8,6 +8,7 @@ the PMU's sampling-jitter seed.
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -103,13 +104,11 @@ def measure_predicted_improvement(workload_cls, *, num_threads: int,
     reported false sharing instance.
     """
     predictions = []
+    base = pmu_config or PMUConfig()
     for index, seed in enumerate(seeds):
-        base = pmu_config or PMUConfig()
-        pmu = PMUConfig(period=base.period, jitter=base.jitter,
-                        handler_cost=base.handler_cost,
-                        trap_cost=base.trap_cost,
-                        thread_setup_cost=base.thread_setup_cost,
-                        seed=base.seed + index + 1)
+        # Vary only the sampling seed per run; replace() keeps every
+        # other field (including any added later) from the base config.
+        pmu = dataclasses.replace(base, seed=base.seed + index + 1)
         outcome = run_workload(
             workload_cls(num_threads=num_threads, scale=scale),
             jitter_seed=seed, pmu_config=pmu, with_cheetah=True,

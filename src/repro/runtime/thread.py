@@ -38,14 +38,29 @@ class ThreadState(enum.Enum):
 
 
 class _BurstState:
-    """Progress through an in-flight :class:`LoopAccess` op."""
+    """Progress through an in-flight :class:`LoopAccess` op.
 
-    __slots__ = ("op", "index", "repeat")
+    The op's fields are copied into slots once at creation: the engine's
+    fused burst loop re-reads them on every scheduling quantum, and many
+    workloads yield very short loops, so per-quantum attribute traffic on
+    the op would otherwise dominate.
+    """
+
+    __slots__ = ("op", "index", "repeat", "base", "stride", "count",
+                 "repeat_total", "work", "read", "write")
 
     def __init__(self, op: LoopAccess):
         self.op = op
         self.index = 0
         self.repeat = 0
+        self.base = op.base
+        self.stride = op.stride
+        self.count = op.count
+        self.repeat_total = op.repeat
+        self.work = op.work
+        # One iteration issues a read, then a write (when enabled).
+        self.read = op.read
+        self.write = op.write
 
 
 class SimThread:

@@ -16,8 +16,9 @@ available for sensitivity studies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
+
+from repro.errors import ConfigError
 
 # Access outcome tags, consumed by Machine to price latency.
 HIT = "hit"
@@ -28,7 +29,6 @@ UPGRADE = "upgrade"
 COLD = "cold"
 
 
-@dataclass
 class LineState:
     """Directory state for one cache line.
 
@@ -37,12 +37,30 @@ class LineState:
     only holder). ``ever_cached`` records whether the line has been fetched
     before, so a re-fetch after invalidation is priced as a shared-level
     fetch rather than a cold miss.
+
+    A ``__slots__`` class rather than a dataclass: the engine's fused
+    burst loop probes ``dirty_owner`` / ``holders`` on every simulated
+    access, and slot access avoids the per-instance ``__dict__``. One
+    instance per line is created on first touch and then only mutated in
+    place — never replaced in the directory's line table (the fused loop
+    relies on this to probe once per address).
     """
 
-    holders: Set[int] = field(default_factory=set)
-    dirty_owner: Optional[int] = None
-    ever_cached: bool = False
-    invalidations: int = 0
+    __slots__ = ("holders", "dirty_owner", "ever_cached", "invalidations")
+
+    def __init__(self, holders: Optional[Set[int]] = None,
+                 dirty_owner: Optional[int] = None,
+                 ever_cached: bool = False, invalidations: int = 0):
+        self.holders = set() if holders is None else holders
+        self.dirty_owner = dirty_owner
+        self.ever_cached = ever_cached
+        self.invalidations = invalidations
+
+    def __repr__(self) -> str:
+        return (f"LineState(holders={self.holders!r}, "
+                f"dirty_owner={self.dirty_owner!r}, "
+                f"ever_cached={self.ever_cached!r}, "
+                f"invalidations={self.invalidations!r})")
 
 
 class CoherenceDirectory:
@@ -64,15 +82,48 @@ class CoherenceDirectory:
                 most this many lines with LRU replacement; ``None`` means
                 infinite private caches.
         """
+        if not isinstance(line_shift, int) or line_shift < 0:
+            raise ConfigError(
+                f"line_shift must be a non-negative int, got {line_shift!r}"
+            )
+        if capacity_lines is not None and capacity_lines < 1:
+            raise ConfigError(
+                f"capacity_lines must be >= 1, got {capacity_lines}"
+            )
         self._line_shift = line_shift
         self._lines: Dict[int, LineState] = {}
         self._capacity = capacity_lines
         # Per-core LRU of resident lines; only maintained in finite mode.
         self._resident: Dict[int, OrderedDict] = {}
+        # line -> core for lines held exclusive-modified by one core. This
+        # mirrors ``dirty_owner`` and exists so Machine's hot path can
+        # answer "is this a private hit?" with one dict probe instead of
+        # full MESI dispatch: when the accessing core is the dirty owner,
+        # both reads and writes are HITs with no state transition.
+        self._exclusive: Dict[int, int] = {}
+
+    @classmethod
+    def for_line_size(cls, line_size: int,
+                      capacity_lines: Optional[int] = None
+                      ) -> "CoherenceDirectory":
+        """Create a directory for ``line_size``-byte lines.
+
+        Validates that ``line_size`` is a power of two: the
+        ``bit_length() - 1`` shift silently mis-maps addresses otherwise.
+        """
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(
+                f"line_size must be a power of two, got {line_size}"
+            )
+        return cls(line_size.bit_length() - 1, capacity_lines=capacity_lines)
 
     @property
     def line_shift(self) -> int:
         return self._line_shift
+
+    def exclusive_owner(self, line: int) -> Optional[int]:
+        """Core holding ``line`` exclusive-modified, if any."""
+        return self._exclusive.get(line)
 
     def line_of(self, addr: int) -> int:
         return addr >> self._line_shift
@@ -103,60 +154,61 @@ class CoherenceDirectory:
 
         The outcome describes what the access cost: a private hit, a fetch
         from the shared level, a coherence transfer, an ownership upgrade,
-        or a cold miss.
+        or a cold miss. The read and write transition tables are merged
+        into this one body: it sits on the machine's slow path and is
+        called once per non-private access, so the two extra method calls
+        a ``_read``/``_write`` split costs are measurable.
         """
         line = addr >> self._line_shift
         state = self._lines.get(line)
         if state is None:
             state = LineState()
             self._lines[line] = state
+        holders = state.holders
 
         if is_write:
-            outcome = self._write(core, line, state)
+            if state.dirty_owner == core:
+                # Already exclusive-modified here: pure private hit.
+                outcome = HIT
+            elif not holders:
+                state.holders = {core}
+                state.dirty_owner = core
+                self._exclusive[line] = core
+                outcome = SHARED_CLEAN if state.ever_cached else COLD
+            elif holders == {core}:
+                # Exclusive but clean: silent upgrade, still a private hit.
+                state.dirty_owner = core
+                self._exclusive[line] = core
+                outcome = HIT
+            else:
+                # Other cores hold the line: invalidate their copies.
+                state.invalidations += 1
+                had_copy = core in holders
+                if self._capacity is not None:
+                    for other in holders:
+                        if other != core:
+                            self._evict_resident(other, line)
+                state.holders = {core}
+                state.dirty_owner = core
+                self._exclusive[line] = core
+                outcome = UPGRADE if had_copy else COHERENCE_WRITE
         else:
-            outcome = self._read(core, line, state)
+            if core in holders:
+                outcome = HIT
+            elif state.dirty_owner is not None:
+                # Another core holds the line modified: forward + downgrade.
+                state.dirty_owner = None
+                del self._exclusive[line]
+                holders.add(core)
+                outcome = COHERENCE_READ
+            else:
+                holders.add(core)
+                outcome = SHARED_CLEAN if state.ever_cached else COLD
+
         state.ever_cached = True
         if self._capacity is not None:
             self._touch_resident(core, line)
         return outcome
-
-    def _write(self, core: int, line: int, state: LineState) -> str:
-        holders = state.holders
-        if state.dirty_owner == core:
-            # Already exclusive-modified here: pure private hit.
-            return HIT
-        if not holders:
-            state.holders = {core}
-            state.dirty_owner = core
-            return SHARED_CLEAN if state.ever_cached else COLD
-        if holders == {core}:
-            # Exclusive but clean: silent upgrade, still a private hit.
-            state.dirty_owner = core
-            return HIT
-        # Other cores hold the line: this write invalidates their copies.
-        state.invalidations += 1
-        had_copy = core in holders
-        if self._capacity is not None:
-            for other in holders:
-                if other != core:
-                    self._evict_resident(other, line)
-        state.holders = {core}
-        state.dirty_owner = core
-        if had_copy:
-            return UPGRADE
-        return COHERENCE_WRITE
-
-    def _read(self, core: int, line: int, state: LineState) -> str:
-        holders = state.holders
-        if core in holders:
-            return HIT
-        if state.dirty_owner is not None:
-            # A different core holds the line modified: forward + downgrade.
-            state.dirty_owner = None
-            holders.add(core)
-            return COHERENCE_READ
-        holders.add(core)
-        return SHARED_CLEAN if state.ever_cached else COLD
 
     # -- finite-capacity support -------------------------------------------
 
@@ -180,3 +232,4 @@ class CoherenceDirectory:
         state.holders.discard(core)
         if state.dirty_owner == core:
             state.dirty_owner = None
+            self._exclusive.pop(line, None)

@@ -40,6 +40,9 @@ from repro.symbols.table import SymbolTable
 
 _INFINITY = float("inf")
 _CALLSITE_DEPTH = 5  # the paper collects five call-stack entries
+# Simulation steps between opportunistic sweeps of the machine's coherence
+# pin table (Machine.prune_pins); bounds an otherwise unbounded dict.
+_PIN_PRUNE_INTERVAL = 8192
 
 
 class Observer:
@@ -118,6 +121,9 @@ class Engine:
         self._tid_counter = itertools.count()
         self._max_steps = max_steps
         self._steps = 0
+        # Next step count at which the machine's coherence pin table is
+        # swept; see the pruning block in run().
+        self._next_pin_prune = _PIN_PRUNE_INTERVAL
         self._ran = False
         # (cycle, callback) checkpoints, fired once when simulated time
         # first passes the cycle — the "interrupted by the user" hook the
@@ -148,23 +154,60 @@ class Engine:
         ready: List[tuple] = [(main.clock, main.tid)]
         threads = self.threads
 
+        # The scheduling loop runs once per quantum — for tightly
+        # interleaved threads that is once per access — so everything it
+        # touches is hoisted into locals and the former _advance helper
+        # is inlined below.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        checkpoints = self._checkpoints
+        machine = self.machine
+        runnable = ThreadState.RUNNABLE
+        max_steps = self._max_steps
+        resume = self._resume
+        run_burst = self._run_burst
+        woken: List[SimThread] = []
+
         while ready:
-            clock, tid = heapq.heappop(ready)
+            clock, tid = heappop(ready)
             thread = threads[tid]
-            if thread.state is not ThreadState.RUNNABLE:
+            if thread.state is not runnable:
                 continue
             if thread.clock != clock:
-                heapq.heappush(ready, (thread.clock, tid))
+                heappush(ready, (thread.clock, tid))
                 continue
-            while self._checkpoints and clock >= self._checkpoints[0][0]:
-                _, callback = self._checkpoints.pop(0)
+            while checkpoints and clock >= checkpoints[0][0]:
+                _, callback = checkpoints.pop(0)
                 callback(self, clock)
+            if self._steps >= self._next_pin_prune:
+                # ``clock`` is the scheduler's global minimum: no future
+                # access can happen earlier, so entries pinned at or
+                # before it are dead and can be dropped (bounds the
+                # pin table on long runs over many contended lines).
+                machine.prune_pins(clock)
+                self._next_pin_prune = self._steps + _PIN_PRUNE_INTERVAL
             limit = ready[0][0] if ready else _INFINITY
-            newly_runnable = self._advance(thread, limit)
-            if thread.state is ThreadState.RUNNABLE:
-                heapq.heappush(ready, (thread.clock, tid))
-            for other in newly_runnable:
-                heapq.heappush(ready, (other.clock, other.tid))
+            # -- one scheduling quantum: run ``thread`` until its clock
+            # passes ``limit`` or it yields control (block/finish) --
+            while thread.clock <= limit:
+                self._steps += 1
+                if self._steps > max_steps:
+                    raise SimulationError(
+                        f"exceeded max_steps={self._max_steps}; "
+                        "likely an unbounded workload loop"
+                    )
+                if thread.burst is not None:
+                    if not run_burst(thread, limit):
+                        break  # burst paused at limit; stays runnable
+                    thread.pending_value = None
+                if not resume(thread, woken):
+                    break
+            if thread.state is runnable:
+                heappush(ready, (thread.clock, tid))
+            if woken:
+                for other in woken:
+                    heappush(ready, (other.clock, other.tid))
+                woken.clear()
 
         unfinished = [t for t in threads.values()
                       if t.state is not ThreadState.FINISHED]
@@ -228,28 +271,7 @@ class Engine:
         self.phase_tracker.on_join(parent.tid, child.tid, parent.clock)
 
     # -- the scheduling quantum -------------------------------------------------
-
-    def _advance(self, thread: SimThread, limit: float) -> List[SimThread]:
-        """Run ``thread`` until its clock passes ``limit`` or it yields
-        control (block/finish). Returns threads made runnable meanwhile."""
-        woken: List[SimThread] = []
-        while thread.clock <= limit:
-            self._steps += 1
-            if self._steps > self._max_steps:
-                raise SimulationError(
-                    f"exceeded max_steps={self._max_steps}; "
-                    "likely an unbounded workload loop"
-                )
-            if thread.burst is not None:
-                if not self._run_burst(thread, limit):
-                    break  # burst paused at limit; thread stays runnable
-                thread.pending_value = None
-                continue_running = self._resume(thread, woken)
-            else:
-                continue_running = self._resume(thread, woken)
-            if not continue_running:
-                break
-        return woken
+    # (the per-quantum advance loop is inlined in run(); see there)
 
     def _resume(self, thread: SimThread, woken: List[SimThread]) -> bool:
         """Resume the generator one op. Returns False when the thread
@@ -283,12 +305,12 @@ class Engine:
         if type(op) is Store:
             self._access(thread, op.addr, True, op.size)
             return True
-        if type(op) is Work:
-            self._do_work(thread, op.cycles)
-            return True
         if type(op) is LoopAccess:
             if op.count and op.repeat:
                 thread.burst = _BurstState(op)
+            return True
+        if type(op) is Work:
+            self._do_work(thread, op.cycles)
             return True
         if type(op) is Malloc:
             callsite = op.callsite or self._capture_callsite(thread)
@@ -374,9 +396,8 @@ class Engine:
 
     def _access(self, thread: SimThread, addr: int, is_write: bool,
                 size: int) -> None:
-        outcome = self.machine.access(thread.core, addr, is_write,
-                                      thread.clock)
-        latency = outcome.latency
+        latency, _, line = self.machine.access_tuple(
+            thread.core, addr, is_write, thread.clock)
         thread.clock += latency
         thread.instructions += 1
         thread.mem_accesses += 1
@@ -384,8 +405,7 @@ class Engine:
         observer = self.observer
         if observer is not None:
             extra = observer.on_access(thread.tid, thread.core, addr,
-                                       is_write, latency, size,
-                                       outcome.line)
+                                       is_write, latency, size, line)
             thread.clock += observer.cost_per_access
             if extra:
                 thread.clock += extra
@@ -402,7 +422,187 @@ class Engine:
         Returns True when the burst completed (the generator should be
         resumed), False when it paused because the thread overran its
         scheduling quantum.
+
+        This is the simulator's innermost loop: for the common case
+        (no observer) the machine's private-HIT check, the thread's
+        clock/counter updates and the PMU's sampling countdown are fused
+        into one loop over plain locals, flushed back on every exit and
+        around every slow-path call. The fused loop consumes the jitter
+        stream and the PMU countdown in exactly the same order as the
+        general path, so all outputs stay bit-identical.
         """
+        burst = thread.burst
+        assert burst is not None
+        machine = self.machine
+        if self.observer is not None or not machine._fast_private:
+            return self._run_burst_observed(thread, limit)
+        pmu = self.pmu
+
+        # Machine fast-path state (constants bundled at construction).
+        lines_get, line_shift, hit_cost, jitter = machine._fast_state
+        jstate = machine._jitter_state
+        m_accesses = 0  # machine counter deltas, flushed with the locals
+        m_cycles = 0
+
+        # Thread state.
+        clock = thread.clock
+        instructions = thread.instructions
+        mem_accesses = thread.mem_accesses
+        mem_cycles = thread.mem_cycles
+        steps = 0
+        core = thread.core
+        tid = thread.tid
+
+        # PMU countdown (the 127-of-128 non-sampled accesses do only the
+        # decrement here; fires go through the PMU's real entry points).
+        if pmu is not None:
+            countdown = pmu._countdown
+            cd = countdown[tid]
+
+        # Burst progress (op constants are pre-copied into burst slots).
+        index = burst.index
+        repeat = burst.repeat
+        count = burst.count
+        repeats_total = burst.repeat_total
+        base = burst.base
+        stride = burst.stride
+        work = burst.work
+        do_read = burst.read
+        do_write = burst.write
+
+        completed = False
+        try:
+            while clock <= limit:
+                if index >= count:
+                    index = 0
+                    repeat += 1
+                if repeat >= repeats_total:
+                    completed = True
+                    return True
+                addr = base + index * stride
+                steps += 1
+                line = addr >> line_shift
+                # One probe covers both the read and the write of this
+                # iteration: LineState objects are mutated in place,
+                # never replaced (only a first-touch slow path below can
+                # create one, after which we re-probe). The read and
+                # write bodies are spelled out separately so each tests
+                # its own constant-folded HIT predicate.
+                state = lines_get(line)
+                if do_read:
+                    if state is not None and core in state.holders:
+                        latency = hit_cost
+                        if jitter:
+                            jstate ^= (jstate << 13) & 0xFFFFFFFFFFFFFFFF
+                            jstate ^= jstate >> 7
+                            jstate ^= (jstate << 17) & 0xFFFFFFFFFFFFFFFF
+                            latency += jstate % (jitter + 1)
+                        m_accesses += 1
+                        m_cycles += latency
+                    else:
+                        # Slow path: flush machine state, take the full
+                        # MESI/prefetch/pin path, re-load the jitter.
+                        machine._jitter_state = jstate
+                        machine.total_accesses += m_accesses
+                        machine.total_cycles += m_cycles
+                        m_accesses = m_cycles = 0
+                        latency, _, _ = machine.access_tuple(
+                            core, addr, False, clock)
+                        jstate = machine._jitter_state
+                        if state is None:
+                            state = lines_get(line)
+                    clock += latency
+                    instructions += 1
+                    mem_accesses += 1
+                    mem_cycles += latency
+                    if pmu is not None:
+                        if cd > 1:
+                            cd -= 1
+                        else:
+                            countdown[tid] = cd
+                            extra = pmu.on_access(
+                                tid, core, addr, False, latency,
+                                self.config.word_size, clock)
+                            if extra:
+                                clock += extra
+                            cd = countdown[tid]
+                if do_write:
+                    if state is not None and state.dirty_owner == core:
+                        latency = hit_cost
+                        if jitter:
+                            jstate ^= (jstate << 13) & 0xFFFFFFFFFFFFFFFF
+                            jstate ^= jstate >> 7
+                            jstate ^= (jstate << 17) & 0xFFFFFFFFFFFFFFFF
+                            latency += jstate % (jitter + 1)
+                        m_accesses += 1
+                        m_cycles += latency
+                    else:
+                        machine._jitter_state = jstate
+                        machine.total_accesses += m_accesses
+                        machine.total_cycles += m_cycles
+                        m_accesses = m_cycles = 0
+                        latency, _, _ = machine.access_tuple(
+                            core, addr, True, clock)
+                        jstate = machine._jitter_state
+                        if state is None:
+                            state = lines_get(line)
+                    clock += latency
+                    instructions += 1
+                    mem_accesses += 1
+                    mem_cycles += latency
+                    if pmu is not None:
+                        if cd > 1:
+                            cd -= 1
+                        else:
+                            countdown[tid] = cd
+                            extra = pmu.on_access(
+                                tid, core, addr, True, latency,
+                                self.config.word_size, clock)
+                            if extra:
+                                clock += extra
+                            cd = countdown[tid]
+                if work:
+                    clock += work
+                    instructions += work
+                    if pmu is not None:
+                        if cd > work:
+                            cd -= work
+                        else:
+                            countdown[tid] = cd
+                            extra = pmu.on_work(tid, work)
+                            if extra:
+                                clock += extra
+                            cd = countdown[tid]
+                index += 1
+            # Completed exactly at the boundary?
+            if index >= count and repeat + 1 >= repeats_total:
+                completed = True
+                return True
+            return False
+        finally:
+            # ``steps == 0`` means the first check completed the burst:
+            # nothing below the burst fields changed, so skip the flush.
+            if steps:
+                machine._jitter_state = jstate
+                machine.total_accesses += m_accesses
+                machine.total_cycles += m_cycles
+                thread.clock = clock
+                thread.instructions = instructions
+                thread.mem_accesses = mem_accesses
+                thread.mem_cycles = mem_cycles
+                self._steps += steps
+                if pmu is not None:
+                    countdown[tid] = cd
+            if completed:
+                thread.burst = None
+            else:
+                burst.index = index
+                burst.repeat = repeat
+
+    def _run_burst_observed(self, thread: SimThread, limit: float) -> bool:
+        """General burst loop, used whenever an observer sees every access
+        (baselines, trace recording); semantically identical to the fused
+        loop in :meth:`_run_burst`."""
         burst = thread.burst
         assert burst is not None
         op = burst.op

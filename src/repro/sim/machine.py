@@ -88,6 +88,19 @@ class Machine:
             coherence.COLD: lat.cold,
             PREFETCHED: lat.prefetched,
         }
+        # Hot-path caches: every simulated access reads these, so keep
+        # them as plain ints / bound dicts rather than property and dict
+        # lookups. ``_exclusive`` aliases the directory's dirty-owner map;
+        # when the accessing core owns the line exclusive-modified, the
+        # access is a private HIT with no state transition, which is the
+        # overwhelmingly common case in false-sharing workloads.
+        self._line_shift = self.config.line_shift
+        self._hit_cost = lat.l1_hit
+        self._exclusive = self.directory._exclusive
+        self._dirlines = self.directory._lines
+        # The private-HIT fast path must not bypass LRU bookkeeping, so
+        # it is only valid with infinite private caches (the default).
+        self._fast_private = capacity_lines is None
         self._prefetcher = prefetcher
         self._recent_lines: Dict[int, Dict[int, None]] = {}
         # Per-access timing noise (queueing, DRAM refresh, OoO windows):
@@ -105,6 +118,11 @@ class Machine:
         # artifact real machines do not exhibit.
         self._transfer_window = transfer_window
         self._pin_until: Dict[int, int] = {}
+        # Everything the engine's fused burst loop needs that never
+        # changes after construction, bundled so the loop's per-call
+        # setup is one attribute load and a tuple unpack.
+        self._fast_state = (self._dirlines.get, self._line_shift,
+                            self._hit_cost, self._jitter)
         self.total_accesses = 0
         self.total_cycles = 0
         self.prefetch_hits = 0
@@ -117,8 +135,43 @@ class Machine:
         ``now`` (the accessing thread's clock) only matters for contended
         lines: a coherence transfer that races an in-flight transfer of
         the same line stalls until the earlier one completes.
+
+        Compatibility shim over :meth:`access_tuple`: the engine's hot
+        path uses the tuple form directly to avoid allocating an
+        :class:`AccessOutcome` per access.
         """
-        line = addr >> self.config.line_shift
+        latency, kind, line = self.access_tuple(core, addr, is_write, now)
+        return AccessOutcome(latency=latency, kind=kind, line=line)
+
+    def access_tuple(self, core: int, addr: int, is_write: bool,
+                     now: int = 0):
+        """Hot-path form of :meth:`access`: ``(latency, kind, line)``.
+
+        Identical semantics and identical consumption of the jitter
+        stream; the private-HIT fast path short-circuits full MESI
+        dispatch when the access hits the core's own copy — a write to a
+        line it holds exclusive-modified, or a read of any line it holds
+        (no state transition, no prefetcher or pin-table interaction —
+        exactly what the general path would do, since HIT is neither
+        prefetchable nor a coherence kind).
+        """
+        line = addr >> self._line_shift
+        if self._fast_private:
+            state = self._dirlines.get(line)
+            if state is not None and (
+                    state.dirty_owner == core if is_write
+                    else core in state.holders):
+                latency = self._hit_cost
+                if self._jitter:
+                    jstate = self._jitter_state
+                    jstate ^= (jstate << 13) & 0xFFFFFFFFFFFFFFFF
+                    jstate ^= jstate >> 7
+                    jstate ^= (jstate << 17) & 0xFFFFFFFFFFFFFFFF
+                    self._jitter_state = jstate
+                    latency += jstate % (self._jitter + 1)
+                self.total_accesses += 1
+                self.total_cycles += latency
+                return latency, coherence.HIT, line
         kind = self.directory.access(core, addr, is_write)
         if self._prefetcher and kind in _PREFETCHABLE:
             recent = self._recent_lines.get(core)
@@ -149,7 +202,29 @@ class Machine:
             self._pin_until[line] = now + latency + self._transfer_window
         self.total_accesses += 1
         self.total_cycles += latency
-        return AccessOutcome(latency=latency, kind=kind, line=line)
+        return latency, kind, line
+
+    @property
+    def pinned_lines(self) -> int:
+        """Entries currently held in the coherence pin table."""
+        return len(self._pin_until)
+
+    def prune_pins(self, floor: int) -> None:
+        """Drop pin-table entries whose pin time is at or before ``floor``.
+
+        ``_pin_until`` otherwise grows by one slot per contended line for
+        the lifetime of the machine. An entry with pin time <= ``floor``
+        can never stall an access at ``now >= floor`` (the stall condition
+        is ``pinned > now``), so pruning with a global lower bound on all
+        future access times is behaviour-preserving. The engine calls this
+        opportunistically with its scheduler clock, which is exactly such
+        a bound (the min-clock discipline never runs a thread whose clock
+        is behind the last popped one).
+        """
+        pins = self._pin_until
+        if pins:
+            self._pin_until = {line: t for line, t in pins.items()
+                               if t > floor}
 
     def latency_of(self, kind: str) -> int:
         """Cycle cost of an outcome tag (exposed for tests and baselines)."""

@@ -108,11 +108,16 @@ class MachineConfig:
         if self.word_size & (self.word_size - 1) or self.word_size <= 0:
             raise ConfigError(f"word_size must be a power of two, got {self.word_size}")
         self.latency.validate()
+        # line_shift is consulted on every simulated access; precompute it
+        # once so the hot path reads a plain int instead of re-deriving it
+        # (the dataclass is frozen, hence object.__setattr__).
+        object.__setattr__(self, "_line_shift",
+                           self.cache_line_size.bit_length() - 1)
 
     @property
     def line_shift(self) -> int:
         """log2 of the cache-line size, for address-to-line bit shifting."""
-        return self.cache_line_size.bit_length() - 1
+        return self._line_shift
 
     def line_of(self, addr: int) -> int:
         """Cache-line index containing ``addr``."""

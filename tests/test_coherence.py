@@ -164,3 +164,51 @@ class TestFiniteCapacity:
             d.access(0, i * 64, False)
         for i in range(1000):
             assert d.access(0, i * 64, False) == coherence.HIT
+
+
+class TestConstructionValidation:
+    def test_negative_line_shift_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CoherenceDirectory(line_shift=-1)
+
+    def test_non_int_line_shift_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CoherenceDirectory(line_shift=6.0)
+
+    def test_zero_capacity_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CoherenceDirectory(line_shift=6, capacity_lines=0)
+
+    def test_for_line_size_valid(self):
+        d = CoherenceDirectory.for_line_size(64)
+        assert d.line_shift == 6
+        assert d.line_of(0x7F) == 1
+
+    @pytest.mark.parametrize("bad", [0, -64, 48, 96, 63])
+    def test_for_line_size_rejects_non_power_of_two(self, bad):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CoherenceDirectory.for_line_size(bad)
+
+
+class TestExclusiveOwnerMirror:
+    def test_mirrors_dirty_owner_through_transitions(self):
+        d = make()
+        line = d.line_of(0x100)
+        assert d.exclusive_owner(line) is None
+        d.access(0, 0x100, True)
+        assert d.exclusive_owner(line) == 0
+        d.access(1, 0x100, False)  # downgrade clears the dirty owner
+        assert d.exclusive_owner(line) is None
+        d.access(1, 0x100, True)  # steal: core 1 becomes owner
+        assert d.exclusive_owner(line) == 1
+
+    def test_mirror_cleared_on_capacity_eviction(self):
+        d = CoherenceDirectory(line_shift=6, capacity_lines=1)
+        d.access(0, 0x000, True)
+        assert d.exclusive_owner(0) == 0
+        d.access(0, 0x040, True)  # evicts dirty line 0
+        assert d.exclusive_owner(0) is None

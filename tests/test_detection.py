@@ -188,3 +188,24 @@ class TestObjectGrouping:
         det = FalseSharingDetector(DetectorConfig(min_invalidations=50))
         feed(det, [(base, 1, True), (base + 4, 2, True)] * 5)
         assert det.build_objects(alloc, SymbolTable()) == []
+
+
+class TestDetectorGeometryValidation:
+    @pytest.mark.parametrize("bad", [0, -64, 48, 63])
+    def test_non_power_of_two_line_size_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            FalseSharingDetector(line_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6])
+    def test_non_power_of_two_word_size_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            FalseSharingDetector(word_size=bad)
+
+    def test_word_size_larger_than_line_size_rejected(self):
+        with pytest.raises(ConfigError):
+            FalseSharingDetector(line_size=32, word_size=64)
+
+    def test_valid_geometry_accepted(self):
+        det = FalseSharingDetector(line_size=32, word_size=8)
+        assert det.line_size == 32
+        assert det.word_size == 8

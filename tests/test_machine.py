@@ -140,3 +140,63 @@ class TestTransferSerialization:
         # Request lands inside the ownership window after the transfer.
         out = m.access(0, 0x100, True, now=first.latency + 10)
         assert out.latency > m.config.latency.coherence_write
+
+
+class TestPinTableBounding:
+    def test_prune_drops_dead_entries(self):
+        m = make()
+        for i in range(10):
+            addr = 0x1000 + i * 64
+            m.access(0, addr, True, now=0)
+            m.access(1, addr, True, now=0)  # pins the line
+        assert m.pinned_lines == 10
+        # Entries pinned at or before the floor can never stall again.
+        m.prune_pins(10_000_000)
+        assert m.pinned_lines == 0
+
+    def test_prune_keeps_live_entries(self):
+        m = make()
+        m.access(0, 0x100, True, now=0)
+        out = m.access(1, 0x100, True, now=0)  # pinned until its latency
+        m.prune_pins(0)
+        assert m.pinned_lines == 1
+        # Stall behaviour is unchanged for a surviving entry.
+        stalled = m.access(0, 0x100, True, now=1)
+        assert stalled.latency == out.latency + (out.latency - 1)
+
+    def test_engine_run_prunes_dead_pins(self):
+        from repro.sim.engine import Engine
+
+        def worker(api, private_base):
+            # Phase 1: contend on 256 shared lines (creates pins).
+            yield from api.loop(0x10000, stride=64, count=256, repeat=4)
+            # Phase 2: a long private stream; no coherence traffic, but
+            # enough steps that the engine's periodic prune fires with a
+            # clock floor far past every phase-1 pin time.
+            yield from api.loop(private_base, stride=64, count=20_000,
+                                repeat=1)
+
+        def main(api):
+            tids = []
+            for i in range(2):
+                tid = yield from api.spawn(worker, 0x1000000 * (i + 1))
+                tids.append(tid)
+            yield from api.join_all(tids)
+
+        machine = Machine(MachineConfig(), timing_jitter=0)
+        engine = Engine(machine=machine)
+        engine.run(main)
+        # Without engine-driven pruning the 256 contended lines would sit
+        # in the pin table forever.
+        assert machine.pinned_lines == 0
+
+
+class TestAccessTupleShim:
+    def test_access_wraps_access_tuple(self):
+        m = make()
+        out = m.access(0, 0x140, True)
+        assert (out.latency, out.kind, out.line) == (
+            m.config.latency.cold, coherence.COLD, 0x140 >> 6)
+        latency, kind, line = m.access_tuple(0, 0x140, True)
+        assert (kind, line) == (coherence.HIT, 0x140 >> 6)
+        assert latency == m.config.latency.l1_hit

@@ -1,0 +1,58 @@
+"""Serial vs parallel experiment equivalence.
+
+The parallel matrix must be a pure scheduling change: every cell derives
+its outputs from its arguments alone, and the ordered merge reassembles
+rows exactly as the serial loop produced them. These tests run small
+configurations both ways and require equality of the dataclass results.
+"""
+
+import pytest
+
+from repro.experiments import figure4, parallel, scaling
+
+
+class TestScalingEquivalence:
+    def test_serial_vs_jobs4(self):
+        serial = scaling.run(scale=0.1, thread_counts=(2, 4, 8))
+        fanned = parallel.run_scaling(scale=0.1, thread_counts=(2, 4, 8),
+                                      jobs=4)
+        assert serial == fanned
+
+    def test_jobs_one_delegates_to_serial(self):
+        serial = scaling.run(scale=0.1, thread_counts=(2, 4))
+        delegated = parallel.run_scaling(scale=0.1, thread_counts=(2, 4),
+                                         jobs=1)
+        assert serial == delegated
+
+    def test_jobs_none_delegates_to_serial(self):
+        serial = scaling.run(scale=0.1, thread_counts=(2,))
+        delegated = parallel.run_scaling(scale=0.1, thread_counts=(2,),
+                                         jobs=None)
+        assert serial == delegated
+
+
+class TestFigure4Equivalence:
+    def test_serial_vs_jobs2_small_subset(self):
+        names = ("histogram", "linear_regression")
+        serial = figure4.run(scale=0.1, names=names, seeds=(11,))
+        fanned = parallel.run_figure4(scale=0.1, names=names, seeds=(11,),
+                                      jobs=2)
+        assert serial == fanned
+
+    def test_row_order_matches_submission_order(self):
+        names = ("linear_regression", "histogram")
+        fanned = parallel.run_figure4(scale=0.1, names=names, seeds=(11,),
+                                      jobs=2)
+        assert [r.name for r in fanned.rows] == list(names)
+
+
+class TestRunnerRegistry:
+    def test_all_declared_experiments_have_runners(self):
+        assert set(parallel.PARALLEL_EXPERIMENTS) == set(parallel.RUNNERS)
+
+    @pytest.mark.parametrize("name", parallel.PARALLEL_EXPERIMENTS)
+    def test_runner_accepts_jobs_kwarg(self, name):
+        import inspect
+        sig = inspect.signature(parallel.RUNNERS[name])
+        assert "jobs" in sig.parameters
+        assert "scale" in sig.parameters

@@ -68,6 +68,7 @@ class TestFormatTable:
         assert "22" in text
 
 
+@pytest.mark.slow
 class TestFullReport:
     def test_all_sections_present(self):
         report = full_report.run(scale=0.05)

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Perf-regression bench entry point; see :mod:`repro.bench`.
+
+::
+
+    PYTHONPATH=src python tools/bench.py [--repeats N] [--label L]
+
+Equivalent to ``repro bench``. Appends an entry to ``BENCH_engine.json``
+at the repo root and prints the speedup vs. the recorded baseline.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
