@@ -109,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
              f"(supported: {', '.join(sorted(parallel.RUNNERS))}; "
              "default: serial)")
 
+    validate_p = sub.add_parser(
+        "validate",
+        help="run the coherence sanitizer invariant suite, the "
+             "differential fuzzer and the mutation self-test")
+    validate_p.add_argument("--smoke", action="store_true",
+                            help="short CI variant")
+    validate_p.add_argument("--seed", type=int, default=None,
+                            help="fuzzer base seed (use with "
+                                 "--iterations 1 to triage a divergence)")
+    validate_p.add_argument("--iterations", type=int, default=None,
+                            help="fuzz program count")
+
     bench_p = sub.add_parser(
         "bench", help="run the engine perf-regression bench "
                       "(records BENCH_engine.json)")
@@ -241,6 +253,18 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from repro.sim.check import validate
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.iterations is not None:
+        argv += ["--iterations", str(args.iterations)]
+    return validate.main(argv)
+
+
 def cmd_bench(args) -> int:
     from repro import bench
     argv = ["--repeats", str(args.repeats), "--label", args.label]
@@ -256,6 +280,7 @@ COMMANDS = {
     "fix-check": cmd_fix_check,
     "compare": cmd_compare,
     "experiment": cmd_experiment,
+    "validate": cmd_validate,
     "bench": cmd_bench,
 }
 

@@ -35,14 +35,19 @@ class DetectorConfig:
 
     Attributes:
         detail_threshold_writes: a line becomes *susceptible* (gets
-            detailed tracking) once its sampled write count exceeds this
-            (the paper tracks detail for lines "with more than two
-            writes").
+            detailed tracking) once its sampled write count strictly
+            exceeds this — the paper tracks detail for lines "with more
+            than two writes", so with the default of 2 the third sampled
+            write promotes the line.
         min_invalidations: sampled invalidations an object needs before
-            it is considered at all.
-        true_sharing_fraction: an object whose shared-word accesses exceed
-            this fraction of its total accesses is classified as true
-            sharing rather than false sharing.
+            it is considered at all (``>=`` — an object with exactly
+            this many is reported).
+        true_sharing_fraction: an object whose shared-word accesses
+            reach this fraction of its total accesses (``>=``) is
+            classified as true sharing rather than false sharing — word
+            overlap at exactly the threshold counts as "threads access
+            the same words". The boundary semantics of all three
+            thresholds are pinned by ``tests/test_detection_edges.py``.
     """
 
     detail_threshold_writes: int = 2
@@ -88,7 +93,11 @@ class ObjectProfile:
         return set(self.per_tid_accesses)
 
     def classify(self, true_sharing_fraction: float) -> SharingKind:
-        """False vs true sharing, per the word-granularity rule."""
+        """False vs true sharing, per the word-granularity rule.
+
+        True sharing when the shared-word fraction is **at or above**
+        ``true_sharing_fraction``; strictly below is false sharing.
+        """
         if len(self.tids) < 2:
             return SharingKind.NO_SHARING
         if not self.accesses:

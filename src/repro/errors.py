@@ -15,6 +15,44 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class ValidationError(SimulationError):
+    """The coherence sanitizer caught an invariant violation.
+
+    Raised by :mod:`repro.sim.check` when a shadowed access diverges from
+    the reference MESI oracle or breaks a structural invariant. Carries
+    enough structure to triage the divergence without a debugger:
+
+    Attributes:
+        invariant: short identifier of the violated invariant, e.g.
+            ``"outcome-mismatch"`` or ``"single-writer"``.
+        access: the offending access as a dict (core, addr, line,
+            is_write, now, kind, latency), or None for run-level checks.
+        expected: what the oracle / invariant required.
+        actual: what the fast path produced.
+        trace: the most recent shadowed accesses leading up to the
+            violation, oldest first.
+    """
+
+    def __init__(self, invariant: str, message: str, *, access=None,
+                 expected=None, actual=None, trace=()):
+        self.invariant = invariant
+        self.access = access
+        self.expected = expected
+        self.actual = actual
+        self.trace = list(trace)
+        lines = [f"[{invariant}] {message}"]
+        if access is not None:
+            lines.append(f"  access:   {access!r}")
+        if expected is not None:
+            lines.append(f"  expected: {expected!r}")
+        if actual is not None:
+            lines.append(f"  actual:   {actual!r}")
+        if self.trace:
+            lines.append("  trace (oldest first):")
+            lines.extend(f"    {entry!r}" for entry in self.trace)
+        super().__init__("\n".join(lines))
+
+
 class DeadlockError(SimulationError):
     """Every live thread is blocked; the program cannot make progress."""
 

@@ -43,16 +43,20 @@ def run_workload(workload: Workload, *,
                  pmu_config: Optional[PMUConfig] = None,
                  with_cheetah: bool = False,
                  cheetah_config: Optional[CheetahConfig] = None,
-                 observer: Optional[Observer] = None) -> RunOutcome:
+                 observer: Optional[Observer] = None,
+                 check: bool = False) -> RunOutcome:
     """Run ``workload`` once on a fresh machine.
 
     ``with_cheetah`` attaches the PMU and the Cheetah profiler;
-    ``observer`` attaches a full-instrumentation tool (Predator baseline).
+    ``observer`` attaches a full-instrumentation tool (Predator baseline);
+    ``check`` runs in sanitizer mode (every access shadowed against the
+    reference MESI oracle — slow, raises
+    :class:`~repro.errors.ValidationError` on divergence).
     """
     config = machine_config or MachineConfig()
     symbols = SymbolTable()
     workload.setup(symbols)
-    machine = Machine(config, jitter_seed=jitter_seed)
+    machine = Machine(config, jitter_seed=jitter_seed, check=check)
     pmu = None
     profiler = None
     if with_cheetah:

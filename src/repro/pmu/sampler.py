@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.pmu.sample import MemorySample
 
 SampleHandler = Callable[[MemorySample], None]
@@ -98,8 +98,16 @@ class PMU:
 
     def on_access(self, tid: int, core: int, addr: int, is_write: bool,
                   latency: int, size: int, timestamp: int) -> int:
-        """Account one memory instruction; returns extra cycles charged."""
-        remaining = self._countdown[tid] - 1
+        """Account one memory instruction; returns extra cycles charged.
+
+        Raises :class:`SimulationError` for a thread that was never armed
+        via :meth:`on_thread_start` (a bare ``KeyError`` from the
+        countdown table is useless at the engine boundary).
+        """
+        try:
+            remaining = self._countdown[tid] - 1
+        except KeyError:
+            raise self._not_armed(tid) from None
         if remaining > 0:
             self._countdown[tid] = remaining
             return 0
@@ -121,7 +129,10 @@ class PMU:
         Fires that land inside the batch cost a trap each but deliver no
         sample (the handler discards non-memory IBS samples immediately).
         """
-        remaining = self._countdown[tid] - instructions
+        try:
+            remaining = self._countdown[tid] - instructions
+        except KeyError:
+            raise self._not_armed(tid) from None
         fires = 0
         while remaining <= 0:
             fires += 1
@@ -134,6 +145,12 @@ class PMU:
         self.overhead_by_tid[tid] = (self.overhead_by_tid.get(tid, 0)
                                      + cost)
         return cost
+
+    @staticmethod
+    def _not_armed(tid: int) -> SimulationError:
+        return SimulationError(
+            f"PMU not armed for thread {tid}: on_thread_start({tid}) "
+            "was never called")
 
     def _next_period(self, tid: int) -> int:
         cfg = self.config

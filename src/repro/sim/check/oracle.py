@@ -1,0 +1,145 @@
+"""Reference MESI oracle: slow, obviously-correct coherence transitions.
+
+The production directory (:mod:`repro.sim.coherence`) is written for
+speed: one merged read/write body over a holders *set* plus a mirrored
+exclusive-owner map that the machine's private-HIT fast path probes. This
+oracle re-implements the same protocol from the textbook description —
+one explicit per-core state letter (``M``/``S``, absence = invalid) and
+one plainly-spelled-out case per transition — so that a bug in the
+optimised representation is very unlikely to be reproduced here.
+
+The sanitizer (:mod:`repro.sim.check.sanitizer`) feeds every simulated
+access through both implementations and cross-checks outcome tags,
+holder sets, dirty owners and invalidation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.errors import ValidationError
+from repro.sim import coherence
+
+#: Per-core line states. A core absent from the table is Invalid.
+MODIFIED = "M"
+SHARED = "S"
+
+
+class ReferenceMESI:
+    """Obviously-correct per-core MESI state machine.
+
+    One dict per line mapping ``core -> state letter``. Every transition
+    is written out as its own case; invariants are re-checked after
+    every single access rather than assumed.
+    """
+
+    def __init__(self) -> None:
+        # line -> {core: "M" | "S"}; cores not present hold the line Invalid.
+        self._states: Dict[int, Dict[int, str]] = {}
+        # Lines that have been fetched at least once (a re-fetch after
+        # invalidation is a shared-level fetch, not a cold miss).
+        self._fetched: Set[int] = set()
+        # line -> ground-truth invalidation events (one per write that
+        # removes the line from at least one *other* core).
+        self._invalidations: Dict[int, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    def holders(self, line: int) -> Set[int]:
+        """Cores holding a valid (M or S) copy of ``line``."""
+        return set(self._states.get(line, {}))
+
+    def dirty_owner(self, line: int) -> Optional[int]:
+        """The core holding ``line`` Modified, or None."""
+        for core, state in self._states.get(line, {}).items():
+            if state == MODIFIED:
+                return core
+        return None
+
+    def invalidations_of(self, line: int) -> int:
+        return self._invalidations.get(line, 0)
+
+    def ever_fetched(self, line: int) -> bool:
+        return line in self._fetched
+
+    # -- the transition tables ----------------------------------------------
+
+    def access(self, core: int, line: int, is_write: bool) -> str:
+        """Apply one access; returns the expected outcome tag.
+
+        Tags are the ones :class:`repro.sim.coherence.CoherenceDirectory`
+        produces (HIT, SHARED_CLEAN, COHERENCE_READ, COHERENCE_WRITE,
+        UPGRADE, COLD); the machine may additionally remap a COLD or
+        SHARED_CLEAN fetch to PREFETCHED, which the caller must accept.
+        """
+        table = self._states.setdefault(line, {})
+        mine = table.get(core)  # None = Invalid
+        others = [c for c in table if c != core]
+        was_fetched = line in self._fetched
+
+        if is_write:
+            if mine == MODIFIED:
+                # Case W1: already exclusive-modified here. Pure hit.
+                outcome = coherence.HIT
+            elif mine == SHARED and not others:
+                # Case W2: sole clean holder. Silent upgrade to M; no
+                # bus traffic, still a private hit.
+                table[core] = MODIFIED
+                outcome = coherence.HIT
+            elif mine is None and not others:
+                # Case W3: nobody holds the line. Fetch-for-ownership.
+                table[core] = MODIFIED
+                outcome = (coherence.SHARED_CLEAN if was_fetched
+                           else coherence.COLD)
+            else:
+                # Case W4: other cores hold copies (and possibly we hold
+                # one too, shared). Invalidate every other copy; one
+                # invalidation event regardless of how many copies died.
+                self._invalidations[line] = (
+                    self._invalidations.get(line, 0) + 1)
+                had_copy = mine == SHARED
+                for other in others:
+                    del table[other]
+                table[core] = MODIFIED
+                outcome = (coherence.UPGRADE if had_copy
+                           else coherence.COHERENCE_WRITE)
+        else:
+            if mine in (MODIFIED, SHARED):
+                # Case R1: any valid local copy serves a read.
+                outcome = coherence.HIT
+            else:
+                dirty = [c for c in others if table[c] == MODIFIED]
+                if dirty:
+                    # Case R2: another core holds the line modified: the
+                    # dirty copy is forwarded and downgraded to Shared.
+                    table[dirty[0]] = SHARED
+                    table[core] = SHARED
+                    outcome = coherence.COHERENCE_READ
+                else:
+                    # Case R3: clean fetch (from the shared level if the
+                    # line was ever cached, else from memory).
+                    table[core] = SHARED
+                    outcome = (coherence.SHARED_CLEAN if was_fetched
+                               else coherence.COLD)
+
+        self._fetched.add(line)
+        self.check_invariants(line)
+        return outcome
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self, line: int) -> None:
+        """Single-writer/multiple-reader, re-checked after every access."""
+        table = self._states.get(line, {})
+        owners = [c for c, s in table.items() if s == MODIFIED]
+        if len(owners) > 1:
+            raise ValidationError(
+                "single-writer", f"line {line:#x} has {len(owners)} "
+                f"modified owners: {sorted(owners)}",
+                actual=dict(table))
+        if owners and len(table) > 1:
+            raise ValidationError(
+                "writer-excludes-readers",
+                f"line {line:#x} is modified by core {owners[0]} but "
+                f"other cores still hold copies",
+                actual=dict(table))

@@ -162,6 +162,7 @@ class Engine:
         heappop = heapq.heappop
         checkpoints = self._checkpoints
         machine = self.machine
+        sanitizer = getattr(machine, "sanitizer", None)
         runnable = ThreadState.RUNNABLE
         max_steps = self._max_steps
         resume = self._resume
@@ -187,6 +188,13 @@ class Engine:
                 machine.prune_pins(clock)
                 self._next_pin_prune = self._steps + _PIN_PRUNE_INTERVAL
             limit = ready[0][0] if ready else _INFINITY
+            # A pending checkpoint also bounds the quantum: with a single
+            # runnable thread ``ready`` is empty and an unbounded quantum
+            # would sail past every registered checkpoint (the callbacks
+            # would fire arbitrarily late, or never if the program ends
+            # first — the paper's Section 2.4 mid-run hook must not drop).
+            if checkpoints and checkpoints[0][0] < limit:
+                limit = checkpoints[0][0]
             # -- one scheduling quantum: run ``thread`` until its clock
             # passes ``limit`` or it yields control (block/finish) --
             while thread.clock <= limit:
@@ -208,6 +216,8 @@ class Engine:
                 for other in woken:
                     heappush(ready, (other.clock, other.tid))
                 woken.clear()
+            if sanitizer is not None:
+                sanitizer.note_quantum(thread)
 
         unfinished = [t for t in threads.values()
                       if t.state is not ThreadState.FINISHED]
@@ -216,6 +226,18 @@ class Engine:
             raise DeadlockError(f"threads never finished: {blocked}")
         if main.end_clock is None:
             raise SimulationError("main thread has no end clock")
+
+        # Drain checkpoints the final quantum ran past: a thread that
+        # finishes exactly at (or just beyond) a checkpoint cycle is
+        # never re-popped, so its pending callbacks would be silently
+        # dropped. Checkpoints beyond the program's end stay unfired —
+        # simulated time never passed them.
+        while checkpoints and checkpoints[0][0] <= main.end_clock:
+            _, callback = checkpoints.pop(0)
+            callback(self, main.end_clock)
+
+        if sanitizer is not None and self.pmu is not None:
+            sanitizer.check_pmu(self.pmu)
 
         self.phase_tracker.finish(main.end_clock)
         return RunResult(
@@ -434,7 +456,11 @@ class Engine:
         burst = thread.burst
         assert burst is not None
         machine = self.machine
-        if self.observer is not None or not machine._fast_private:
+        if (self.observer is not None or not machine._fast_private
+                or machine.sanitizer is not None):
+            # Sanitizer mode must shadow *every* access, so bursts take
+            # the general per-access loop (whose machine calls route
+            # through the checked entry point).
             return self._run_burst_observed(thread, limit)
         pmu = self.pmu
 

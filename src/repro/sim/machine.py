@@ -73,7 +73,8 @@ class Machine:
                  prefetcher: bool = True,
                  timing_jitter: int = 2,
                  jitter_seed: int = 0xC0FFEE,
-                 transfer_window: int = 0):
+                 transfer_window: int = 0,
+                 check: bool = False):
         self.config = config or MachineConfig()
         self.directory = CoherenceDirectory(
             self.config.line_shift, capacity_lines=capacity_lines
@@ -127,6 +128,17 @@ class Machine:
         self.total_cycles = 0
         self.prefetch_hits = 0
         self.stall_cycles = 0
+        # Sanitizer mode (``check=True``): every access is shadowed
+        # against the reference MESI oracle in repro.sim.check. The
+        # checked entry point is installed as an *instance* attribute so
+        # the default path pays nothing; the engine additionally routes
+        # bursts through its general (per-access) loop when a sanitizer
+        # is present, so the fused kernel cannot bypass the shadowing.
+        self.sanitizer = None
+        if check:
+            from repro.sim.check.sanitizer import CoherenceSanitizer
+            self.sanitizer = CoherenceSanitizer(self)
+            self.access_tuple = self.sanitizer.checked_access_tuple
 
     def access(self, core: int, addr: int, is_write: bool,
                now: int = 0) -> AccessOutcome:
@@ -203,6 +215,12 @@ class Machine:
         self.total_accesses += 1
         self.total_cycles += latency
         return latency, kind, line
+
+    # The un-shadowed implementation, reachable even when sanitizer mode
+    # rebinds ``access_tuple`` on the instance. Subclasses that override
+    # ``access_tuple`` (e.g. the mutation self-test machine) must re-alias
+    # this so the sanitizer validates *their* fast path.
+    _raw_access_tuple = access_tuple
 
     @property
     def pinned_lines(self) -> int:

@@ -1,0 +1,166 @@
+"""Unit tests for the reference MESI oracle (repro.sim.check.oracle).
+
+Every transition case (W1-W4, R1-R3) is exercised directly, plus the
+ground-truth invalidation accounting and the always-on invariant checks.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim import coherence
+from repro.sim.check.oracle import MODIFIED, SHARED, ReferenceMESI
+
+LINE = 0x40
+
+
+class TestWriteTransitions:
+    def test_w3_first_write_is_cold(self):
+        oracle = ReferenceMESI()
+        assert oracle.access(0, LINE, True) == coherence.COLD
+        assert oracle.dirty_owner(LINE) == 0
+        assert oracle.holders(LINE) == {0}
+
+    def test_w1_rewrite_by_owner_hits(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        assert oracle.access(0, LINE, True) == coherence.HIT
+        assert oracle.invalidations_of(LINE) == 0
+
+    def test_w2_sole_clean_holder_upgrades_silently(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, False)  # S by core 0, sole holder
+        assert oracle.access(0, LINE, True) == coherence.HIT
+        assert oracle.dirty_owner(LINE) == 0
+        # A silent upgrade invalidates nothing: no other copies existed.
+        assert oracle.invalidations_of(LINE) == 0
+
+    def test_w3_refetch_after_invalidation_is_shared_clean(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)          # COLD, M by 0
+        oracle.access(1, LINE, True)          # invalidates 0
+        oracle.access(1, LINE, False)         # still held by 1
+        # Core 1 drops implicitly only via invalidation; write from a
+        # fresh line state needs both cores gone:
+        oracle2 = ReferenceMESI()
+        oracle2.access(0, LINE, True)
+        oracle2.access(1, LINE, True)         # 0 invalidated
+        # Now 0 writes again: others hold -> COHERENCE_WRITE, not COLD.
+        assert oracle2.access(0, LINE, True) == coherence.COHERENCE_WRITE
+
+    def test_w4_write_over_foreign_dirty_copy(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        assert oracle.access(1, LINE, True) == coherence.COHERENCE_WRITE
+        assert oracle.holders(LINE) == {1}
+        assert oracle.dirty_owner(LINE) == 1
+        assert oracle.invalidations_of(LINE) == 1
+
+    def test_w4_upgrade_from_shared_copy(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, False)
+        oracle.access(1, LINE, False)
+        # Core 1 holds a shared copy and writes: UPGRADE, core 0 dies.
+        assert oracle.access(1, LINE, True) == coherence.UPGRADE
+        assert oracle.holders(LINE) == {1}
+        assert oracle.invalidations_of(LINE) == 1
+
+    def test_w4_one_event_per_write_not_per_copy(self):
+        oracle = ReferenceMESI()
+        for core in range(4):
+            oracle.access(core, LINE, False)
+        oracle.access(5, LINE, True)  # kills four copies at once
+        assert oracle.invalidations_of(LINE) == 1
+
+
+class TestReadTransitions:
+    def test_r3_first_read_is_cold(self):
+        oracle = ReferenceMESI()
+        assert oracle.access(0, LINE, False) == coherence.COLD
+        assert oracle.dirty_owner(LINE) is None
+
+    def test_r1_reread_hits(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, False)
+        assert oracle.access(0, LINE, False) == coherence.HIT
+
+    def test_r1_owner_read_of_own_dirty_line_hits(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        assert oracle.access(0, LINE, False) == coherence.HIT
+        assert oracle.dirty_owner(LINE) == 0  # still Modified
+
+    def test_r2_read_of_foreign_dirty_copy_downgrades(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        assert oracle.access(1, LINE, False) == coherence.COHERENCE_READ
+        assert oracle.dirty_owner(LINE) is None
+        assert oracle.holders(LINE) == {0, 1}
+
+    def test_r3_second_core_clean_fetch_is_shared(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, False)
+        assert oracle.access(1, LINE, False) == coherence.SHARED_CLEAN
+        assert oracle.holders(LINE) == {0, 1}
+
+    def test_reads_never_invalidate(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        for core in range(1, 8):
+            oracle.access(core, LINE, False)
+        assert oracle.invalidations_of(LINE) == 0
+
+
+class TestBookkeeping:
+    def test_ever_fetched(self):
+        oracle = ReferenceMESI()
+        assert not oracle.ever_fetched(LINE)
+        oracle.access(0, LINE, False)
+        assert oracle.ever_fetched(LINE)
+        assert not oracle.ever_fetched(LINE + 1)
+
+    def test_lines_are_independent(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        assert oracle.access(1, LINE + 1, True) == coherence.COLD
+        assert oracle.invalidations_of(LINE) == 0
+        assert oracle.invalidations_of(LINE + 1) == 0
+
+    def test_invariants_catch_corrupt_state(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        oracle._states[LINE][1] = MODIFIED  # two writers
+        with pytest.raises(ValidationError) as exc:
+            oracle.check_invariants(LINE)
+        assert exc.value.invariant == "single-writer"
+
+    def test_invariants_catch_writer_with_readers(self):
+        oracle = ReferenceMESI()
+        oracle.access(0, LINE, True)
+        oracle._states[LINE][1] = SHARED
+        with pytest.raises(ValidationError) as exc:
+            oracle.check_invariants(LINE)
+        assert exc.value.invariant == "writer-excludes-readers"
+
+
+class TestAgainstProductionDirectory:
+    def test_random_trace_matches_directory(self):
+        # The oracle and the production directory must produce identical
+        # outcome tags, holder sets, dirty owners and invalidation counts
+        # over a random (seeded) trace of contended accesses.
+        import random
+        rng = random.Random(1234)
+        # line_shift=0 makes addr == line, so the trace drives the
+        # directory and the oracle with identical line numbers.
+        directory = coherence.CoherenceDirectory(line_shift=0)
+        oracle = ReferenceMESI()
+        for _ in range(2000):
+            core = rng.randrange(4)
+            line = rng.randrange(3)
+            is_write = rng.random() < 0.5
+            expected = oracle.access(core, line, is_write)
+            got = directory.access(core, line, is_write)
+            assert got == expected
+            state = directory.state_of(line)
+            assert state.holders == oracle.holders(line)
+            assert state.dirty_owner == oracle.dirty_owner(line)
+            assert state.invalidations == oracle.invalidations_of(line)

@@ -104,3 +104,22 @@ class TestExperiment:
     def test_oversubscription_runs(self, capsys):
         assert main(["experiment", "oversubscription"]) == 0
         assert "Assumption 1" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_smoke_passes(self, capsys):
+        assert main(["validate", "--smoke", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant suite" in out
+        assert "accesses shadowed" in out
+        assert "bit-identical across all execution paths" in out
+        assert "parallel equivalence: skipped (--smoke)" in out
+        assert "corrupted write predicate caught" in out
+        assert "all checks passed" in out
+
+    def test_validate_single_seed_triage(self, capsys):
+        # The triage loop from the docs: replay exactly one fuzz program.
+        assert main(["validate", "--smoke", "--seed", "49374",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "seeds 49374..49374" in out

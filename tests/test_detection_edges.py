@@ -127,3 +127,67 @@ class TestRegionRendering:
         assert "unattributed region" in text
         data = instance_to_dict(report)
         assert data["object"]["type"] == "region"
+
+
+class TestThresholdBoundaries:
+    """Pin the boundary semantics the DetectorConfig docstring promises.
+
+    All three thresholds are documented with explicit >=/strictly-exceeds
+    semantics; these tests are the executable form of that contract.
+    """
+
+    def _profile(self, accesses, shared):
+        from repro.core.detection import ObjectProfile
+        return ObjectProfile(
+            key=("heap", 1), kind="heap", start=0, end=64, size=64,
+            label="x.c:1", accesses=accesses,
+            shared_word_accesses=shared,
+            per_tid_accesses={1: accesses // 2, 2: accesses - accesses // 2})
+
+    def test_true_sharing_fraction_at_threshold_is_true_sharing(self):
+        # Exactly at the fraction: >= semantics, counts as true sharing.
+        assert (self._profile(10, 5).classify(0.5)
+                is SharingKind.TRUE_SHARING)
+
+    def test_true_sharing_fraction_just_below_is_false_sharing(self):
+        assert (self._profile(10, 4).classify(0.5)
+                is SharingKind.FALSE_SHARING)
+
+    def test_detail_threshold_strictly_exceeds(self):
+        # Default detail_threshold_writes=2: the *third* write promotes.
+        det = FalseSharingDetector()
+        line = 0x700000 >> 6
+        det.on_sample(sample(0x700000, 1, True), True)
+        det.on_sample(sample(0x700004, 2, True), True)
+        assert det.detailed_line(line) is None
+        det.on_sample(sample(0x700000, 1, True), True)
+        assert det.detailed_line(line) is not None
+
+    def test_detail_threshold_zero_promotes_on_first_write(self):
+        det = FalseSharingDetector(DetectorConfig(detail_threshold_writes=0))
+        det.on_sample(sample(0x700000, 1, True), True)
+        assert det.detailed_line(0x700000 >> 6) is not None
+
+    def test_reads_never_count_toward_detail_threshold(self):
+        det = FalseSharingDetector()
+        for i in range(50):
+            det.on_sample(sample(0x700000, 1 + i % 4, False), True)
+        assert det.detailed_line(0x700000 >> 6) is None
+
+    def test_min_invalidations_is_inclusive(self):
+        # Build identical ping-pong traffic under two configs: a line
+        # with exactly N sampled invalidations is susceptible at
+        # min_invalidations=N but not at N+1.
+        def detector(minimum):
+            det = FalseSharingDetector(
+                DetectorConfig(min_invalidations=minimum))
+            for _ in range(6):
+                det.on_sample(sample(0x800000, 1, True), True)
+                det.on_sample(sample(0x800004, 2, True), True)
+            return det
+
+        line = 0x800000 >> 6
+        observed = detector(1).detailed_line(line).invalidations
+        assert observed >= 2
+        assert line in detector(observed).susceptible_lines()
+        assert line not in detector(observed + 1).susceptible_lines()

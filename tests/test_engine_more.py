@@ -132,10 +132,10 @@ class TestCheckpoints:
 
     def test_callback_can_inspect_live_threads(self):
         # Two children keep the scheduler alternating in bounded quanta,
-        # so the checkpoint observes them mid-flight. (With a single
-        # runnable thread the quantum is unbounded and the thread may
-        # finish before the next scheduling point — correct
-        # discrete-event behaviour.)
+        # so the checkpoint observes them mid-flight. (Pending checkpoints
+        # also bound the quantum themselves — see
+        # test_checkpoint_regression.py — so a single runnable thread
+        # would work too; two threads additionally pin the states seen.)
         def child(api):
             for _ in range(100):
                 yield from api.loop(0x3000, 4, 10, read=True, write=False,

@@ -135,3 +135,32 @@ class TestJitter:
             if pmu.on_access(1, 0, 0, False, 3, 4, i):
                 fires += 1
         assert abs(fires - n / 50) / (n / 50) < 0.1
+
+
+class TestUnarmedThread:
+    """on_access/on_work for a never-armed tid must raise a diagnosable
+    SimulationError, not a bare KeyError from the countdown table."""
+
+    def test_on_access_unarmed_raises_simulation_error(self):
+        from repro.errors import SimulationError
+        pmu = PMU(PMUConfig(period=32))
+        with pytest.raises(SimulationError, match="not armed for thread 7"):
+            pmu.on_access(7, 0, 0x1000, False, 10, 4, 0)
+
+    def test_on_work_unarmed_raises_simulation_error(self):
+        from repro.errors import SimulationError
+        pmu = PMU(PMUConfig(period=32))
+        with pytest.raises(SimulationError, match="not armed for thread 7"):
+            pmu.on_work(7, 100)
+
+    def test_message_names_the_missing_setup_call(self):
+        from repro.errors import SimulationError
+        pmu = PMU(PMUConfig(period=32))
+        with pytest.raises(SimulationError, match="on_thread_start"):
+            pmu.on_work(3, 1)
+
+    def test_armed_thread_unaffected(self):
+        pmu = PMU(PMUConfig(period=32))
+        pmu.on_thread_start(7)
+        assert pmu.on_access(7, 0, 0x1000, False, 10, 4, 0) == 0
+        assert pmu.on_work(7, 5) == 0

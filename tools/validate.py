@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Correctness-net entry point; see :mod:`repro.sim.check.validate`.
+
+::
+
+    PYTHONPATH=src python tools/validate.py [--smoke] [--seed N] [--iterations N]
+
+Equivalent to ``repro validate``. Runs the sanitized-workload invariant
+suite, the differential fuzzer, the serial-vs-parallel experiment
+equivalence check and the seeded-mutation self-test; exits non-zero on
+the first stage reporting a failure.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.check.validate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
