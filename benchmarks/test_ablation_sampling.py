@@ -9,7 +9,8 @@ more runtime; sparser sampling eventually loses the instance.
 import math
 
 from conftest import report
-from repro.experiments.runner import format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import run_workload
 from repro.pmu.sampler import PMUConfig
 from repro.workloads.phoenix import LinearRegression
 

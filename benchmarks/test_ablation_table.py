@@ -9,7 +9,8 @@ invalidated and (b) the memory the bitmap would need.
 from conftest import report
 from repro.baselines.ownership import OwnershipTracker
 from repro.core.cacheline import TwoEntryTable
-from repro.experiments.runner import format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import run_workload
 from repro.pmu.sampler import PMU, PMUConfig
 from repro.workloads.phoenix import LinearRegression
 

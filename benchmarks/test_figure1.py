@@ -31,7 +31,7 @@ def test_figure1_microbenchmark(benchmark, once):
 def test_figure1_fix_restores_scaling(benchmark, once):
     """The padding fix (one line per element) restores near-linear
     scaling — the flip side of Figure 1 used throughout the paper."""
-    from repro.experiments.runner import run_workload
+    from repro.run import run_workload
     from repro.workloads.micro import ArrayIncrement
 
     def measure():

@@ -16,7 +16,7 @@ import tempfile
 from pathlib import Path
 
 from repro.core.detection import DetectorConfig, FalseSharingDetector
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.trace import (
     TraceRecorder, downsample, load_trace, replay_into_detector,
     save_trace,

@@ -11,7 +11,7 @@ Run:
 """
 
 from repro.baselines.predator import PredatorDetector
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.workloads import get_workload
 
 APPS = ("histogram", "swaptions", "streamcluster", "kmeans")

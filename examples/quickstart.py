@@ -6,32 +6,38 @@ independent work that shares cache lines. We run it natively, run it
 under Cheetah, print Cheetah's report, then apply the padding fix and
 compare the measured speedup with Cheetah's prediction.
 
+Everything goes through :class:`repro.Session` — one object holding the
+workload and configuration, with ``.run()`` (native), ``.profile()``
+(PMU + Cheetah) and ``.report()`` computed lazily and cached.
+
 Run:
     python examples/quickstart.py
 """
 
-from repro import profile, run_plain
-from repro.workloads.micro import ArrayIncrement
+from repro import Session
 
 
 def main() -> None:
     threads = 8
+    session = Session("array_increment", threads=threads)
 
     print("=== 1. native run (with the false sharing bug) ===")
-    buggy = run_plain(ArrayIncrement(num_threads=threads))
+    buggy = session.run().result
     print(f"runtime: {buggy.runtime:,} cycles, "
           f"{buggy.total_accesses:,} memory accesses, "
           f"{buggy.machine.directory.total_invalidations():,} "
           "cache invalidations (ground truth)\n")
 
     print("=== 2. the same run under Cheetah ===")
-    profiled, report = profile(ArrayIncrement(num_threads=threads))
+    profiled = session.profile().result
+    report = session.report()
     overhead = profiled.runtime / buggy.runtime
     print(f"profiling overhead: {(overhead - 1) * 100:+.1f}%\n")
     print(report.render())
 
     print("\n=== 3. apply the padding fix and compare ===")
-    fixed = run_plain(ArrayIncrement(num_threads=threads, fixed=True))
+    fixed = Session("array_increment", threads=threads,
+                    fixed=True).run().result
     real = buggy.runtime / fixed.runtime
     best = report.best()
     predicted = best.improvement if best else float("nan")

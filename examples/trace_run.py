@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Trace a profiled run and read its metrics.
+
+Runs the histogram workload under Cheetah with the observability layer
+attached, writes a Chrome ``trace_event`` file you can drop into
+https://ui.perfetto.dev, and prints the headline metrics — including the
+conservation identity tying the live access counters to the run's
+ground truth (see docs/observability.md).
+
+Run:
+    python examples/trace_run.py
+"""
+
+from repro import ObsConfig, Session
+
+TRACE_PATH = "histogram.trace.json"
+
+
+def main() -> None:
+    session = Session("histogram", threads=8,
+                      obs=ObsConfig(trace_accesses=False))
+    outcome = session.profile()
+
+    outcome.obs.write_trace(TRACE_PATH)
+    tracer = outcome.obs.tracer
+    print(f"trace: {TRACE_PATH} ({len(tracer.events):,} events, "
+          f"{tracer.dropped:,} dropped)")
+    print("open it at https://ui.perfetto.dev ('Open trace file'):")
+    print("  - one track per thread (quanta, joins, lifetime spans)")
+    print("  - one track per core (coherence misses)")
+    print("  - a 'phases' track (serial vs parallel)\n")
+
+    metrics = outcome.metrics
+    counters = metrics["counters"]
+    print("headline metrics:")
+    print(f"  runtime:          "
+          f"{metrics['gauges']['sim_runtime_cycles']:,} cycles")
+    by_outcome = counters["machine_accesses_total"]
+    for outcome_kind in sorted(by_outcome):
+        print(f"  accesses[{outcome_kind}]: {by_outcome[outcome_kind]:,}")
+    print(f"  invalidations:    {counters['coherence_invalidations_total']:,}")
+    print(f"  PMU samples:      {counters['pmu_samples_total']['memory']:,} "
+          f"memory / {counters['pmu_samples_total']['trap']:,} trap")
+    print(f"  detector lines:   "
+          f"{metrics['gauges']['detector_detailed_lines']} detailed")
+
+    # Conservation: the per-access counters sum to the ground truth.
+    assert sum(by_outcome.values()) == outcome.result.total_accesses
+    print("\nconservation holds: sum(machine_accesses_total) == "
+          f"{outcome.result.total_accesses:,} ground-truth accesses")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,10 +26,14 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
+from repro.api import Session
+from repro.core.detection import DetectorConfig
 from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
 from repro.errors import ReproError
 from repro.heap.allocator import CheetahAllocator
+from repro.obs import ObsConfig, Observability
 from repro.pmu.sampler import PMU, PMUConfig
+from repro.run import DEFAULT_SEEDS, RunOutcome, run_workload
 from repro.sim.engine import Engine, RunResult
 from repro.sim.params import LatencyModel, MachineConfig
 from repro.symbols.table import SymbolTable
@@ -40,16 +44,23 @@ __all__ = [
     "CheetahConfig",
     "CheetahProfiler",
     "CheetahReport",
+    "DEFAULT_SEEDS",
+    "DetectorConfig",
     "Engine",
     "LatencyModel",
     "MachineConfig",
+    "ObsConfig",
+    "Observability",
     "PMU",
     "PMUConfig",
     "ReproError",
+    "RunOutcome",
     "RunResult",
+    "Session",
     "SymbolTable",
     "profile",
     "run_plain",
+    "run_workload",
     "__version__",
 ]
 

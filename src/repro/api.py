@@ -1,0 +1,170 @@
+"""One front door for the whole reproduction: :class:`Session`.
+
+Instead of importing from five subpackages (engine from ``repro.sim``,
+PMU from ``repro.pmu``, profiler from ``repro.core``, runner from
+``repro.run``, workloads from ``repro.workloads``), a user states *what*
+to run and *how* once, and asks for results::
+
+    from repro.api import Session
+
+    session = Session("linear_regression", threads=8)
+    outcome = session.profile()          # PMU + Cheetah attached
+    print(session.report().render())
+
+    from repro.obs import ObsConfig
+    traced = Session("histogram", threads=4, obs=ObsConfig())
+    outcome = traced.run()               # outcome.obs has trace + metrics
+
+The session accepts a workload in any of four shapes: a registry name
+(``"histogram"``), a :class:`~repro.workloads.base.Workload` subclass, a
+ready-made instance, or a bare generator function taking the thread API.
+For names and classes, a *fresh* workload instance is built per run —
+workload objects carry a mutable ``rng``, so reusing one across runs
+would change its access stream. A pre-built instance is used as-is
+(run it once, or accept that a second run continues its rng stream).
+
+Results are computed lazily and cached: ``.run()`` and ``.profile()``
+each execute at most once per session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.core.detection import DetectorConfig
+from repro.core.profiler import CheetahConfig, CheetahReport
+from repro.errors import ConfigError
+from repro.obs import ObsConfig, Observability
+from repro.pmu.sampler import PMUConfig
+from repro.run import RunOutcome, run_workload
+from repro.sim.engine import Observer
+from repro.sim.params import MachineConfig
+from repro.workloads import Workload, get_workload
+
+
+class _CallableWorkload(Workload):
+    """Adapter wrapping a bare generator function as a Workload."""
+
+    suite = "adhoc"
+
+    def __init__(self, fn: Callable[..., Any], num_threads: Optional[int],
+                 scale: float, fixed: bool, seed: int):
+        super().__init__(num_threads=num_threads, scale=scale, fixed=fixed,
+                         seed=seed)
+        self.name = getattr(fn, "__name__", "callable")
+        self._fn = fn
+
+    def main(self, api) -> Any:
+        return self._fn(api)
+
+
+class Session:
+    """A configured (workload, machine, profiling, observability) bundle.
+
+    Args:
+        workload: registry name, Workload subclass, Workload instance,
+            or a generator function ``fn(api)``.
+        threads/scale/fixed/seed: workload construction knobs; only legal
+            when the session builds the workload itself (name, class or
+            function form) — passing them with a ready-made instance
+            raises :class:`~repro.errors.ConfigError`.
+        jitter_seed: the machine's timing-jitter seed (run-to-run
+            hardware variation).
+        machine: :class:`~repro.sim.params.MachineConfig`.
+        pmu: :class:`~repro.pmu.sampler.PMUConfig` (profiled runs).
+        detector: :class:`~repro.core.detection.DetectorConfig`; folded
+            into ``cheetah`` (mutually exclusive with a ``cheetah`` that
+            already carries a non-default detector is fine — ``detector``
+            wins).
+        cheetah: full :class:`~repro.core.profiler.CheetahConfig`.
+        obs: :class:`~repro.obs.ObsConfig` (each run gets its own
+            collector) or a single unwired
+            :class:`~repro.obs.Observability`.
+        observer: full-instrumentation :class:`~repro.sim.engine.Observer`
+            (Predator-style baselines, or a bare ``Tracer``).
+        check: run under the coherence sanitizer.
+    """
+
+    def __init__(self, workload: Union[str, type, Workload, Callable], *,
+                 threads: Optional[int] = None,
+                 scale: float = 1.0,
+                 fixed: bool = False,
+                 seed: int = 0,
+                 jitter_seed: int = 0xC0FFEE,
+                 machine: Optional[MachineConfig] = None,
+                 pmu: Optional[PMUConfig] = None,
+                 detector: Optional[DetectorConfig] = None,
+                 cheetah: Optional[CheetahConfig] = None,
+                 obs: Optional[Union[ObsConfig, Observability]] = None,
+                 observer: Optional[Observer] = None,
+                 check: bool = False):
+        overrides = (threads is not None or scale != 1.0 or fixed
+                     or seed != 0)
+        if isinstance(workload, Workload):
+            if overrides:
+                raise ConfigError(
+                    "threads/scale/fixed/seed can only be passed when the "
+                    "Session builds the workload; configure the instance "
+                    "directly instead")
+            instance = workload
+            self._make_workload = lambda: instance
+        elif isinstance(workload, type) and issubclass(workload, Workload):
+            cls = workload
+            self._make_workload = lambda: cls(
+                num_threads=threads, scale=scale, fixed=fixed, seed=seed)
+        elif isinstance(workload, str):
+            cls = get_workload(workload)
+            self._make_workload = lambda: cls(
+                num_threads=threads, scale=scale, fixed=fixed, seed=seed)
+        elif callable(workload):
+            fn = workload
+            self._make_workload = lambda: _CallableWorkload(
+                fn, num_threads=threads, scale=scale, fixed=fixed, seed=seed)
+        else:
+            raise ConfigError(
+                f"workload must be a name, Workload class/instance or "
+                f"generator function, got {type(workload).__name__}")
+        if detector is not None:
+            cheetah = (cheetah or CheetahConfig()).replace(detector=detector)
+        self.jitter_seed = jitter_seed
+        self.machine = machine
+        self.pmu = pmu
+        self.cheetah = cheetah
+        self.obs = obs
+        self.observer = observer
+        self.check = check
+        self._run_outcome: Optional[RunOutcome] = None
+        self._profile_outcome: Optional[RunOutcome] = None
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> RunOutcome:
+        """Native run (no PMU, no profiler); cached."""
+        if self._run_outcome is None:
+            self._run_outcome = self._execute(with_cheetah=False)
+        return self._run_outcome
+
+    def profile(self) -> RunOutcome:
+        """Profiled run (PMU + Cheetah attached); cached."""
+        if self._profile_outcome is None:
+            self._profile_outcome = self._execute(with_cheetah=True)
+        return self._profile_outcome
+
+    def report(self) -> CheetahReport:
+        """The Cheetah report of the profiled run."""
+        outcome = self.profile()
+        assert outcome.report is not None
+        return outcome.report
+
+    def _execute(self, with_cheetah: bool) -> RunOutcome:
+        return run_workload(
+            self._make_workload(),
+            machine_config=self.machine,
+            jitter_seed=self.jitter_seed,
+            pmu_config=self.pmu,
+            with_cheetah=with_cheetah,
+            cheetah_config=self.cheetah,
+            observer=self.observer,
+            check=self.check,
+            obs=self.obs,
+        )

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import scaling
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.workloads import get_workload
 
 BENCH_FILE = "BENCH_engine.json"

@@ -5,6 +5,8 @@
     python -m repro list
     python -m repro run linear_regression --threads 8
     python -m repro profile linear_regression --threads 16 --period 128
+    python -m repro trace histogram --out histogram.trace.json
+    python -m repro metrics linear_regression --profile
     python -m repro fix-check streamcluster --threads 8
     python -m repro compare histogram
     python -m repro experiment table1 --scale 0.5
@@ -13,19 +15,22 @@
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.api import Session
 from repro.baselines.predator import PredatorDetector
 from repro.baselines.sheriff import SheriffDetector
-from repro.core.profiler import CheetahConfig
+from repro.config import CLIConfigs, build_configs
 from repro.experiments import (
     assumptions, comparison, figure1, figure4, figure5, figure7, linesize,
     parallel, scaling, synchronization, table1,
 )
-from repro.experiments.runner import run_workload
-from repro.pmu.sampler import PMUConfig
+from repro.obs import aggregate_snapshots, pop_default, push_default
+from repro.run import run_workload
 from repro.workloads import all_workload_names, get_workload
 
 EXPERIMENTS = {
@@ -45,7 +50,6 @@ EXPERIMENTS = {
 
 def _run_all(args):
     from repro.experiments import full_report
-    import sys
     return full_report.run(
         scale=args.scale,
         progress=lambda title: print(f"... {title}", file=sys.stderr))
@@ -75,9 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the padded (bug-fixed) layout")
         p.add_argument("--seed", type=int, default=11,
                        help="machine timing-jitter seed")
+        p.add_argument("--line-size", type=int, default=None,
+                       help="cache line size in bytes (default: machine's)")
+        p.add_argument("--cores", type=int, default=None,
+                       help="core count (default: machine's)")
+
+    def add_obs_flags(p):
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a trace of the run to FILE (Chrome "
+                            "trace_event JSON; a '.jsonl' suffix switches "
+                            "to the JSONL format)")
+        p.add_argument("--metrics", metavar="FILE", nargs="?", const="-",
+                       default=None,
+                       help="write run metrics in Prometheus text format "
+                            "to FILE ('-' or no value: stdout)")
 
     run_p = sub.add_parser("run", help="run a workload natively")
     add_workload_args(run_p)
+    add_obs_flags(run_p)
 
     prof_p = sub.add_parser("profile", help="run a workload under Cheetah")
     add_workload_args(prof_p)
@@ -87,6 +106,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include true-sharing instances in the report")
     prof_p.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
+    add_obs_flags(prof_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run a workload and write an execution trace "
+                      "(Chrome trace_event, Perfetto-loadable)")
+    add_workload_args(trace_p)
+    trace_p.add_argument("--out", metavar="FILE", default=None,
+                         help="output path (default: <workload>.trace.json)")
+    trace_p.add_argument("--format", choices=("chrome", "jsonl"),
+                         default=None,
+                         help="trace format (default: by file suffix)")
+    trace_p.add_argument("--accesses", action="store_true",
+                         help="also trace individual memory accesses "
+                              "(high volume; bounded by --max-events)")
+    trace_p.add_argument("--max-events", type=int, default=None,
+                         help="event-buffer cap (excess events are counted "
+                              "as dropped)")
+    trace_p.add_argument("--profile", action="store_true",
+                         help="attach the PMU and Cheetah (adds pmu/"
+                              "detector events)")
+    trace_p.add_argument("--period", type=int, default=None,
+                         help="PMU sampling period (implies --profile)")
+
+    met_p = sub.add_parser(
+        "metrics", help="run a workload and report simulator metrics")
+    add_workload_args(met_p)
+    met_p.add_argument("--out", metavar="FILE", default="-",
+                       help="output path ('-': stdout)")
+    met_p.add_argument("--json", action="store_true",
+                       help="emit the snapshot as JSON instead of "
+                            "Prometheus text")
+    met_p.add_argument("--profile", action="store_true",
+                       help="attach the PMU and Cheetah (adds pmu/"
+                            "detector metrics)")
+    met_p.add_argument("--period", type=int, default=None,
+                       help="PMU sampling period (implies --profile)")
 
     fix_p = sub.add_parser(
         "fix-check",
@@ -108,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan independent experiment cells over N processes "
              f"(supported: {', '.join(sorted(parallel.RUNNERS))}; "
              "default: serial)")
+    exp_p.add_argument("--trace", metavar="DIR", default=None,
+                       help="write one Chrome trace per run into DIR "
+                            "(forces serial execution)")
+    exp_p.add_argument("--metrics", metavar="FILE", nargs="?", const="-",
+                       default=None,
+                       help="write metric totals aggregated over every run "
+                            "as JSON to FILE ('-' or no value: stdout; "
+                            "forces serial execution)")
 
     validate_p = sub.add_parser(
         "validate",
@@ -147,14 +210,54 @@ def cmd_list(args) -> int:
     return 0
 
 
-def _make_workload(args):
-    cls = get_workload(args.workload)
-    return cls(num_threads=args.threads, scale=args.scale,
-               fixed=args.fixed)
+def _session(args, configs: CLIConfigs) -> Session:
+    """The one CLI-to-API bridge: every workload subcommand runs here."""
+    return Session(
+        args.workload,
+        threads=configs.workload_kwargs["num_threads"],
+        scale=configs.workload_kwargs["scale"],
+        fixed=configs.workload_kwargs["fixed"],
+        jitter_seed=configs.jitter_seed,
+        machine=configs.machine,
+        pmu=configs.pmu,
+        cheetah=configs.cheetah,
+        obs=configs.obs,
+    )
+
+
+def _write_text(dest: str, text: str, what: str) -> None:
+    if dest == "-":
+        sys.stdout.write(text)
+        return
+    with open(dest, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"{what} written to {dest}", file=sys.stderr)
+
+
+def _trace_format(path: str, explicit: Optional[str] = None) -> str:
+    if explicit is not None:
+        return explicit
+    return "jsonl" if path.endswith(".jsonl") else "chrome"
+
+
+def _write_obs_outputs(args, outcome) -> None:
+    """Honor --trace/--metrics on run/profile after the main output."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        fmt = _trace_format(trace_path)
+        outcome.obs.write_trace(trace_path, format=fmt)
+        tracer = outcome.obs.tracer
+        print(f"trace written to {trace_path} ({fmt}, "
+              f"{len(tracer.events):,} events, {tracer.dropped:,} dropped)",
+              file=sys.stderr)
+    metrics_dest = getattr(args, "metrics", None)
+    if metrics_dest:
+        _write_text(metrics_dest, outcome.obs.render_prometheus(), "metrics")
 
 
 def cmd_run(args) -> int:
-    outcome = run_workload(_make_workload(args), jitter_seed=args.seed)
+    configs = build_configs(args)
+    outcome = _session(args, configs).run()
     result = outcome.result
     print(f"workload:       {args.workload}")
     print(f"runtime:        {result.runtime:,} cycles")
@@ -163,19 +266,18 @@ def cmd_run(args) -> int:
     print(f"invalidations:  "
           f"{result.machine.directory.total_invalidations():,} "
           "(ground truth)")
+    _write_obs_outputs(args, outcome)
     return 0
 
 
 def cmd_profile(args) -> int:
     from repro.core.advisor import advise
     from repro.core.export import report_to_json
-    pmu = PMUConfig(period=args.period) if args.period else None
-    cheetah = CheetahConfig(report_true_sharing=args.true_sharing)
-    outcome = run_workload(_make_workload(args), jitter_seed=args.seed,
-                           with_cheetah=True, pmu_config=pmu,
-                           cheetah_config=cheetah)
+    configs = build_configs(args)
+    outcome = _session(args, configs).profile()
     if args.json:
         print(report_to_json(outcome.report))
+        _write_obs_outputs(args, outcome)
         return 0 if outcome.report.significant else 1
     print(outcome.report.render())
     for instance in outcome.report.significant:
@@ -183,15 +285,54 @@ def cmd_profile(args) -> int:
         if advice is not None:
             print()
             print(advice.render())
+    _write_obs_outputs(args, outcome)
     return 0 if outcome.report.significant else 1
 
 
+def cmd_trace(args) -> int:
+    configs = build_configs(args)
+    session = _session(args, configs)
+    profiled = args.profile or args.period is not None
+    outcome = session.profile() if profiled else session.run()
+    out = args.out or f"{args.workload}.trace.json"
+    fmt = _trace_format(out, args.format)
+    outcome.obs.write_trace(out, format=fmt)
+    tracer = outcome.obs.tracer
+    print(f"workload:  {args.workload}")
+    print(f"runtime:   {outcome.runtime:,} cycles")
+    print(f"events:    {len(tracer.events):,} retained, "
+          f"{tracer.dropped:,} dropped")
+    print(f"trace:     {out} ({fmt})")
+    if fmt == "chrome":
+        print("open with https://ui.perfetto.dev ('Open trace file')")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    configs = build_configs(args)
+    session = _session(args, configs)
+    profiled = args.profile or args.period is not None
+    outcome = session.profile() if profiled else session.run()
+    if args.json:
+        text = json.dumps(outcome.metrics, indent=2, sort_keys=True) + "\n"
+    else:
+        text = outcome.obs.render_prometheus()
+    _write_text(args.out, text, "metrics")
+    return 0
+
+
 def cmd_fix_check(args) -> int:
+    configs = build_configs(args)
     cls = get_workload(args.workload)
-    kwargs = dict(num_threads=args.threads, scale=args.scale)
-    original = run_workload(cls(**kwargs), jitter_seed=args.seed)
-    fixed = run_workload(cls(fixed=True, **kwargs), jitter_seed=args.seed)
-    profiled = run_workload(cls(**kwargs), jitter_seed=args.seed,
+    kwargs = dict(num_threads=configs.workload_kwargs["num_threads"],
+                  scale=configs.workload_kwargs["scale"])
+    seed = configs.jitter_seed
+    original = run_workload(cls(**kwargs), jitter_seed=seed,
+                            machine_config=configs.machine)
+    fixed = run_workload(cls(fixed=True, **kwargs), jitter_seed=seed,
+                         machine_config=configs.machine)
+    profiled = run_workload(cls(**kwargs), jitter_seed=seed,
+                            machine_config=configs.machine,
                             with_cheetah=True)
     real = original.runtime / fixed.runtime
     best = profiled.report.best()
@@ -207,18 +348,23 @@ def cmd_fix_check(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    configs = build_configs(args)
     cls = get_workload(args.workload)
-    kwargs = dict(num_threads=args.threads, scale=args.scale)
-    native = run_workload(cls(**kwargs), jitter_seed=args.seed)
+    kwargs = dict(num_threads=configs.workload_kwargs["num_threads"],
+                  scale=configs.workload_kwargs["scale"])
+    seed = configs.jitter_seed
+    machine = configs.machine
+    native = run_workload(cls(**kwargs), jitter_seed=seed,
+                          machine_config=machine)
 
-    cheetah = run_workload(cls(**kwargs), jitter_seed=args.seed,
-                           with_cheetah=True)
+    cheetah = run_workload(cls(**kwargs), jitter_seed=seed,
+                           machine_config=machine, with_cheetah=True)
     predator = PredatorDetector(min_invalidations=40)
-    predator_run = run_workload(cls(**kwargs), jitter_seed=args.seed,
-                                observer=predator)
+    predator_run = run_workload(cls(**kwargs), jitter_seed=seed,
+                                machine_config=machine, observer=predator)
     sheriff = SheriffDetector()
-    sheriff_run = run_workload(cls(**kwargs), jitter_seed=args.seed,
-                               observer=sheriff)
+    sheriff_run = run_workload(cls(**kwargs), jitter_seed=seed,
+                               machine_config=machine, observer=sheriff)
 
     rows = [
         ("Cheetah", bool(cheetah.report.significant),
@@ -237,19 +383,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _write_experiment_obs(args, handle) -> None:
+    """Write per-run traces / aggregated metrics collected by a default
+    ObsConfig pushed around an experiment."""
+    collected = handle.collected
+    if not collected:
+        print("note: no runs were observed", file=sys.stderr)
+        return
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
+        written = 0
+        for index, obs in enumerate(collected):
+            if obs.tracer is None:
+                continue
+            path = os.path.join(args.trace, f"run-{index:04d}.trace.json")
+            obs.write_trace(path, format="chrome")
+            written += 1
+        print(f"{written} trace(s) written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        aggregate = aggregate_snapshots(
+            [obs.metrics_snapshot() for obs in collected])
+        aggregate["runs"] = len(collected)
+        text = json.dumps(aggregate, indent=2, sort_keys=True) + "\n"
+        _write_text(args.metrics, text, "aggregated metrics")
+
+
 def cmd_experiment(args) -> int:
+    configs = build_configs(args)
     jobs = getattr(args, "jobs", None)
-    if jobs and jobs > 1:
-        runner = parallel.RUNNERS.get(args.name)
-        if runner is None:
-            print(f"note: '{args.name}' has no parallel runner; "
-                  "running serially", file=sys.stderr)
-        else:
-            result = runner(scale=args.scale, jobs=jobs)
-            print(result.render())
-            return 0
-    result = EXPERIMENTS[args.name](args)
-    print(result.render())
+    handle = None
+    if configs.obs is not None:
+        if jobs and jobs > 1:
+            print("note: --trace/--metrics force serial execution; "
+                  "ignoring --jobs", file=sys.stderr)
+            jobs = None
+        handle = push_default(configs.obs)
+    try:
+        if jobs and jobs > 1:
+            runner = parallel.RUNNERS.get(args.name)
+            if runner is None:
+                print(f"note: '{args.name}' has no parallel runner; "
+                      "running serially", file=sys.stderr)
+            else:
+                result = runner(scale=args.scale, jobs=jobs)
+                print(result.render())
+                return 0
+        result = EXPERIMENTS[args.name](args)
+        print(result.render())
+    finally:
+        if handle is not None:
+            pop_default()
+    if handle is not None:
+        _write_experiment_obs(args, handle)
     return 0
 
 
@@ -277,6 +462,8 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "profile": cmd_profile,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "fix-check": cmd_fix_check,
     "compare": cmd_compare,
     "experiment": cmd_experiment,

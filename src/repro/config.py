@@ -1,0 +1,174 @@
+"""Shared configuration conventions for every public config dataclass.
+
+All four user-facing configuration dataclasses — ``MachineConfig``,
+``PMUConfig``, ``DetectorConfig`` and ``CheetahConfig`` (plus their
+nested ``LatencyModel`` / ``AssessmentConfig`` members and the
+observability ``ObsConfig``) — share one construction convention,
+provided by :class:`ConfigBase`:
+
+- ``Cls.from_dict(data)`` builds a config from a plain mapping,
+  recursing into nested config dataclasses, rejecting unknown keys with
+  :class:`~repro.errors.ConfigError`, and running the class's own
+  ``__post_init__`` validation;
+- ``cfg.to_dict()`` produces the inverse plain-dict form (nested
+  configs become nested dicts), suitable for JSON round-tripping;
+- ``cfg.replace(**changes)`` is :func:`dataclasses.replace` spelled as
+  a method, so callers need not import ``dataclasses`` to vary one
+  field.
+
+The CLI builds all of its configs through :func:`build_configs`, one
+helper mapping a parsed ``argparse`` namespace onto the config objects
+instead of ad-hoc kwargs plumbing per subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+
+class ConfigBase:
+    """Mixin giving config dataclasses ``from_dict``/``to_dict``/``replace``.
+
+    Subclasses must be dataclasses; construction-time validation lives in
+    each subclass's ``__post_init__`` and is exercised by every
+    ``from_dict`` call (a dict that decodes to an invalid config raises
+    :class:`~repro.errors.ConfigError` exactly like direct construction).
+    """
+
+    @classmethod
+    def _field_types(cls) -> Dict[str, Any]:
+        # ``from __future__ import annotations`` turns field types into
+        # strings; resolve them so nested config dataclasses can be
+        # detected. Fall back to the raw annotations when resolution
+        # fails (e.g. names only available under TYPE_CHECKING).
+        try:
+            return typing.get_type_hints(cls)
+        except Exception:  # pragma: no cover - defensive
+            return {f.name: f.type for f in dataclasses.fields(cls)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConfigBase":
+        """Build a validated config from a plain mapping.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError`; values for
+        fields that are themselves config dataclasses may be given as
+        nested mappings and are converted recursively.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"{cls.__name__}.from_dict expects a mapping, "
+                f"got {type(data).__name__}")
+        fields = {f.name: f for f in dataclasses.fields(cls) if f.init}
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(fields))})")
+        hints = cls._field_types()
+        kwargs: Dict[str, Any] = {}
+        for name in fields:
+            if name not in data:
+                continue
+            value = data[name]
+            ftype = hints.get(name)
+            if (isinstance(value, Mapping) and isinstance(ftype, type)
+                    and dataclasses.is_dataclass(ftype)):
+                if issubclass(ftype, ConfigBase):
+                    value = ftype.from_dict(value)
+                else:  # pragma: no cover - all nested configs use the mixin
+                    value = ftype(**value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; nested config dataclasses become nested dicts."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            if not f.init:
+                continue
+            value = getattr(self, f.name)
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                value = (value.to_dict() if isinstance(value, ConfigBase)
+                         else dataclasses.asdict(value))
+            out[f.name] = value
+        return out
+
+    def replace(self, **changes: Any) -> "ConfigBase":
+        """A new config with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class CLIConfigs:
+    """Everything :func:`build_configs` derives from a CLI namespace."""
+
+    workload_kwargs: Dict[str, Any]
+    jitter_seed: int
+    machine: Optional[Any]  # MachineConfig
+    pmu: Optional[Any]      # PMUConfig
+    cheetah: Optional[Any]  # CheetahConfig
+    obs: Optional[Any]      # ObsConfig
+
+
+def build_configs(args: Any) -> CLIConfigs:
+    """Map a parsed CLI namespace onto the public config dataclasses.
+
+    Every ``repro`` subcommand that runs a workload funnels its arguments
+    through here, so flag-to-config wiring lives in exactly one place.
+    Missing attributes fall back to their defaults, which lets commands
+    with different flag subsets share the helper.
+    """
+    # Local imports: this module sits below the config-owning packages in
+    # the import graph (sim.params and friends import ConfigBase from
+    # here), so importing them at module load would be circular.
+    from repro.core.profiler import CheetahConfig
+    from repro.obs.config import ObsConfig
+    from repro.pmu.sampler import PMUConfig
+    from repro.sim.params import MachineConfig
+
+    def get(name: str, default: Any = None) -> Any:
+        return getattr(args, name, default)
+
+    workload_kwargs: Dict[str, Any] = {
+        "num_threads": get("threads"),
+        "scale": get("scale", 1.0),
+        "fixed": bool(get("fixed", False)),
+    }
+
+    machine = None
+    line_size = get("line_size")
+    cores = get("cores")
+    if line_size is not None or cores is not None:
+        defaults = MachineConfig()
+        machine = MachineConfig(
+            num_cores=cores if cores is not None else defaults.num_cores,
+            cache_line_size=(line_size if line_size is not None
+                             else defaults.cache_line_size))
+
+    pmu = PMUConfig(period=get("period")) if get("period") else None
+    cheetah = CheetahConfig(
+        report_true_sharing=bool(get("true_sharing", False)))
+
+    obs = None
+    want_trace = bool(get("trace")) or get("command") == "trace"
+    want_metrics = bool(get("metrics")) or get("command") == "metrics"
+    if want_trace or want_metrics:
+        obs = ObsConfig(
+            trace=want_trace,
+            metrics=want_metrics,
+            trace_accesses=bool(get("accesses", False)),
+            max_events=get("max_events") or ObsConfig.max_events,
+        )
+
+    return CLIConfigs(
+        workload_kwargs=workload_kwargs,
+        jitter_seed=get("seed", 0xC0FFEE),
+        machine=machine,
+        pmu=pmu,
+        cheetah=cheetah,
+        obs=obs,
+    )

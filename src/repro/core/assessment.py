@@ -28,12 +28,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.detection import ObjectProfile
+from repro.config import ConfigBase
 from repro.errors import ConfigError
 from repro.runtime.phases import PhaseTracker
 
 
 @dataclass(frozen=True)
-class AssessmentConfig:
+class AssessmentConfig(ConfigBase):
     """Assessment parameters.
 
     Attributes:

@@ -16,6 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.config import ConfigBase
 from repro.core.cacheline import DetailedLine
 from repro.errors import ConfigError
 from repro.heap.allocator import AllocationInfo
@@ -30,7 +31,7 @@ class SharingKind(enum.Enum):
 
 
 @dataclass(frozen=True)
-class DetectorConfig:
+class DetectorConfig(ConfigBase):
     """Detection thresholds.
 
     Attributes:
@@ -138,6 +139,10 @@ class FalseSharingDetector:
         self._pending: Dict[int, List[Tuple[int, bool, int, int, bool]]] = {}
         self.samples_seen = 0
         self.samples_recorded = 0
+        # Observability hook (set by CheetahProfiler.attach when the
+        # engine is wired): notified when a line is promoted to detailed
+        # tracking.
+        self.obs = None
 
     # -- online path ---------------------------------------------------------
 
@@ -155,6 +160,8 @@ class FalseSharingDetector:
                     and line not in self._detailed):
                 detail = DetailedLine()
                 self._detailed[line] = detail
+                if self.obs is not None:
+                    self.obs.on_detector_promotion(line, count, sample)
                 for entry in self._pending.pop(line, ()):
                     self._apply(detail, *entry)
         detail = self._detailed.get(line)

@@ -28,6 +28,7 @@ from repro.core.assessment import (
     assess_object,
     serial_average,
 )
+from repro.config import ConfigBase
 from repro.core.detection import DetectorConfig, FalseSharingDetector, SharingKind
 from repro.core.report import ObjectReport, render_report
 from repro.errors import ProfilerError
@@ -36,7 +37,7 @@ from repro.sim.engine import Engine, RunResult
 
 
 @dataclass(frozen=True)
-class CheetahConfig:
+class CheetahConfig(ConfigBase):
     """End-to-end profiler configuration.
 
     Attributes:
@@ -120,6 +121,7 @@ class CheetahProfiler:
             line_size=engine.config.cache_line_size,
             word_size=engine.config.word_size,
         )
+        self.detector.obs = getattr(engine, "obs", None)
         engine.pmu.install_handler(self.handle_sample)
 
     def handle_sample(self, sample: MemorySample) -> None:

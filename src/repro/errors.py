@@ -83,3 +83,7 @@ class SymbolError(ReproError):
 
 class ProfilerError(ReproError):
     """The Cheetah profiler was driven through an illegal transition."""
+
+
+class ObsError(ReproError):
+    """The observability layer was driven through an illegal transition."""

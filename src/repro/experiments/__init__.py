@@ -32,8 +32,8 @@ from repro.experiments.runner import (
     measure_overhead,
     measure_predicted_improvement,
     measure_real_improvement,
-    run_workload,
 )
+from repro.run import run_workload
 
 __all__ = [
     "assumptions",

@@ -16,7 +16,8 @@ from typing import List, Sequence
 
 from repro.baselines.predator import PredatorDetector
 from repro.baselines.sheriff import SheriffDetector
-from repro.experiments.runner import format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import run_workload
 from repro.workloads import get_workload
 
 APPLICATIONS = ("linear_regression", "streamcluster", "histogram",

@@ -12,7 +12,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import DEFAULT_SEEDS, format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import DEFAULT_SEEDS, run_workload
 from repro.workloads.micro import ArrayIncrement
 
 THREAD_COUNTS = (1, 2, 4, 8)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.report import ObjectReport
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.pmu.sampler import PMUConfig
 from repro.workloads.phoenix import LINEAR_REGRESSION_CALLSITE, LinearRegression
 

@@ -13,7 +13,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import DEFAULT_SEEDS, format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import DEFAULT_SEEDS, run_workload
 from repro.workloads import get_workload
 
 TRIO = ("histogram", "reverse_index", "word_count")

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.baselines.predator import PredatorDetector
-from repro.experiments.runner import format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import run_workload
 from repro.sim.params import MachineConfig
 from repro.workloads.parsec import StreamCluster
 

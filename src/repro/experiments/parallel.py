@@ -31,11 +31,11 @@ from typing import Optional, Sequence
 
 from repro.experiments import comparison, figure4, scaling, table1
 from repro.experiments.runner import (
-    DEFAULT_SEEDS,
     measure_overhead,
     measure_predicted_improvement,
     measure_real_improvement,
 )
+from repro.run import DEFAULT_SEEDS
 from repro.pmu.sampler import PMUConfig
 from repro.workloads import FIGURE4_NAMES, get_workload
 

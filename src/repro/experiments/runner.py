@@ -1,80 +1,53 @@
-"""Shared machinery for running (workload, configuration) pairs.
+"""Experiment helpers over the canonical runner, plus a compatibility shim.
 
-The paper runs each application five times and reports averages
-(Section 4.1); experiments here do the same over deterministic seeds —
-both the machine's timing-jitter seed (run-to-run hardware variation) and
-the PMU's sampling-jitter seed.
+``run_workload``, ``RunOutcome`` and ``DEFAULT_SEEDS`` moved to
+:mod:`repro.run` (they are core machinery used by every layer, not
+experiment plumbing). Importing them from here still works but emits a
+:class:`DeprecationWarning` via the module ``__getattr__`` below.
+
+What legitimately lives here: the multi-seed measurement helpers behind
+Table 1 and Figure 4, and the fixed-width table formatter every
+experiment's ``render()`` shares.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import statistics
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, List, Optional, Sequence
 
-from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
-from repro.heap.allocator import CheetahAllocator
-from repro.pmu.sampler import PMU, PMUConfig
-from repro.sim.engine import Engine, Observer, RunResult
-from repro.sim.machine import Machine
+from repro.core.profiler import CheetahConfig
+from repro.pmu.sampler import PMUConfig
+from repro.run import DEFAULT_SEEDS as _DEFAULT_SEEDS
+from repro.run import run_workload as _run_workload
 from repro.sim.params import MachineConfig
-from repro.symbols.table import SymbolTable
-from repro.workloads.base import Workload
 
-DEFAULT_SEEDS: Tuple[int, ...] = (11, 22, 33)
-
-
-@dataclass
-class RunOutcome:
-    """Result of one workload run, optionally with a Cheetah report."""
-
-    result: RunResult
-    report: Optional[CheetahReport] = None
-
-    @property
-    def runtime(self) -> int:
-        return self.result.runtime
+# Old import path -> object now living in repro.run. Kept out of module
+# globals so PEP 562 __getattr__ fires for them.
+_MOVED_TO_RUN = ("run_workload", "RunOutcome", "DEFAULT_SEEDS")
 
 
-def run_workload(workload: Workload, *,
-                 machine_config: Optional[MachineConfig] = None,
-                 jitter_seed: int = 0xC0FFEE,
-                 pmu_config: Optional[PMUConfig] = None,
-                 with_cheetah: bool = False,
-                 cheetah_config: Optional[CheetahConfig] = None,
-                 observer: Optional[Observer] = None,
-                 check: bool = False) -> RunOutcome:
-    """Run ``workload`` once on a fresh machine.
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_RUN:
+        warnings.warn(
+            f"importing {name} from repro.experiments.runner is "
+            f"deprecated; use repro.run.{name} (or the repro top-level "
+            "re-export) instead",
+            DeprecationWarning, stacklevel=2)
+        import repro.run
+        return getattr(repro.run, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
-    ``with_cheetah`` attaches the PMU and the Cheetah profiler;
-    ``observer`` attaches a full-instrumentation tool (Predator baseline);
-    ``check`` runs in sanitizer mode (every access shadowed against the
-    reference MESI oracle — slow, raises
-    :class:`~repro.errors.ValidationError` on divergence).
-    """
-    config = machine_config or MachineConfig()
-    symbols = SymbolTable()
-    workload.setup(symbols)
-    machine = Machine(config, jitter_seed=jitter_seed, check=check)
-    pmu = None
-    profiler = None
-    if with_cheetah:
-        pmu = PMU(pmu_config or PMUConfig())
-    engine = Engine(config=config, machine=machine, symbols=symbols,
-                    pmu=pmu, observer=observer,
-                    allocator=CheetahAllocator(line_size=config.cache_line_size))
-    if with_cheetah:
-        profiler = CheetahProfiler(cheetah_config)
-        profiler.attach(engine)
-    result = engine.run(workload.main)
-    report = profiler.finalize(result) if profiler else None
-    return RunOutcome(result=result, report=report)
+
+def __dir__() -> List[str]:
+    return sorted(list(globals()) + list(_MOVED_TO_RUN))
 
 
 def measure_real_improvement(workload_cls, *, num_threads: int,
                              scale: float = 1.0,
-                             seeds: Sequence[int] = DEFAULT_SEEDS,
+                             seeds: Sequence[int] = _DEFAULT_SEEDS,
                              machine_config: Optional[MachineConfig] = None,
                              ) -> float:
     """Mean of ``runtime(original) / runtime(fixed)`` over seeds.
@@ -84,10 +57,10 @@ def measure_real_improvement(workload_cls, *, num_threads: int,
     """
     ratios = []
     for seed in seeds:
-        original = run_workload(
+        original = _run_workload(
             workload_cls(num_threads=num_threads, scale=scale),
             jitter_seed=seed, machine_config=machine_config)
-        fixed = run_workload(
+        fixed = _run_workload(
             workload_cls(num_threads=num_threads, scale=scale, fixed=True),
             jitter_seed=seed, machine_config=machine_config)
         ratios.append(original.runtime / fixed.runtime)
@@ -96,7 +69,7 @@ def measure_real_improvement(workload_cls, *, num_threads: int,
 
 def measure_predicted_improvement(workload_cls, *, num_threads: int,
                                   scale: float = 1.0,
-                                  seeds: Sequence[int] = DEFAULT_SEEDS,
+                                  seeds: Sequence[int] = _DEFAULT_SEEDS,
                                   pmu_config: Optional[PMUConfig] = None,
                                   cheetah_config: Optional[CheetahConfig] = None,
                                   machine_config: Optional[MachineConfig] = None,
@@ -113,7 +86,7 @@ def measure_predicted_improvement(workload_cls, *, num_threads: int,
         # Vary only the sampling seed per run; replace() keeps every
         # other field (including any added later) from the base config.
         pmu = dataclasses.replace(base, seed=base.seed + index + 1)
-        outcome = run_workload(
+        outcome = _run_workload(
             workload_cls(num_threads=num_threads, scale=scale),
             jitter_seed=seed, pmu_config=pmu, with_cheetah=True,
             cheetah_config=cheetah_config, machine_config=machine_config)
@@ -134,7 +107,7 @@ def measure_predicted_improvement(workload_cls, *, num_threads: int,
 
 def measure_overhead(workload_cls, *, num_threads: Optional[int] = None,
                      scale: float = 1.0,
-                     seeds: Sequence[int] = DEFAULT_SEEDS,
+                     seeds: Sequence[int] = _DEFAULT_SEEDS,
                      pmu_config: Optional[PMUConfig] = None,
                      machine_config: Optional[MachineConfig] = None,
                      ) -> float:
@@ -147,11 +120,11 @@ def measure_overhead(workload_cls, *, num_threads: Optional[int] = None,
         kwargs = {"scale": scale}
         if num_threads is not None:
             kwargs["num_threads"] = num_threads
-        native = run_workload(workload_cls(**kwargs), jitter_seed=seed,
-                              machine_config=machine_config)
-        profiled = run_workload(workload_cls(**kwargs), jitter_seed=seed,
-                                pmu_config=pmu_config, with_cheetah=True,
-                                machine_config=machine_config)
+        native = _run_workload(workload_cls(**kwargs), jitter_seed=seed,
+                               machine_config=machine_config)
+        profiled = _run_workload(workload_cls(**kwargs), jitter_seed=seed,
+                                 pmu_config=pmu_config, with_cheetah=True,
+                                 machine_config=machine_config)
         ratios.append(profiled.runtime / native.runtime)
     return statistics.mean(ratios)
 

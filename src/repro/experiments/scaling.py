@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import format_table, run_workload
+from repro.experiments.runner import format_table
+from repro.run import run_workload
 from repro.workloads.phoenix import LinearRegression
 
 THREAD_COUNTS = (2, 4, 8, 16, 24, 32)

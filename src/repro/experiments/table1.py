@@ -12,11 +12,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.experiments.runner import (
-    DEFAULT_SEEDS,
     format_table,
     measure_predicted_improvement,
     measure_real_improvement,
 )
+from repro.run import DEFAULT_SEEDS
 from repro.pmu.sampler import PMUConfig
 from repro.workloads import get_workload
 

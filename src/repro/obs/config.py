@@ -1,0 +1,46 @@
+"""Observability configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ConfigBase
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ObsConfig(ConfigBase):
+    """What the observability layer records.
+
+    Attributes:
+        trace: emit typed span/event records (see
+            :class:`~repro.obs.tracer.Tracer`).
+        metrics: maintain the :class:`~repro.obs.metrics.MetricsRegistry`
+            counters/gauges/histograms.
+        trace_quanta: one span per engine scheduling quantum. The densest
+            scheduler-level signal; subject to ``max_events``.
+        trace_coherence: one instant event per coherence transition
+            (read/write misses and upgrades), on per-core tracks.
+        trace_accesses: one instant event per simulated memory access.
+            Off by default — it dwarfs every other record type.
+        max_events: hard cap on retained trace records. Records beyond
+            the cap are counted (``Tracer.dropped``) but not stored, so
+            tracing memory stays bounded on long runs.
+
+    Enabling either ``trace`` (with coherence events) or ``metrics``
+    routes the run through the per-access instrumented path — bounded
+    overhead, bit-identical simulated outputs. With both off the hot
+    path is untouched.
+    """
+
+    trace: bool = True
+    metrics: bool = True
+    trace_quanta: bool = True
+    trace_coherence: bool = True
+    trace_accesses: bool = False
+    max_events: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_events < 0:
+            raise ConfigError(
+                f"max_events must be >= 0, got {self.max_events}")

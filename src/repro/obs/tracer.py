@@ -1,0 +1,186 @@
+"""Typed trace records with Chrome ``trace_event`` and JSONL exporters.
+
+Every record's timestamp is a *simulated* clock value (cycles), never
+wall time, so identical runs produce byte-identical traces. The Chrome
+export maps cycles onto the format's microsecond field one-to-one; in
+Perfetto / ``chrome://tracing`` the time axis therefore reads directly
+in cycles.
+
+Track layout (the ``tid`` field of the Chrome format):
+
+- simulated threads appear on their own tid;
+- per-core tracks (coherence transitions, raw accesses) sit at
+  ``CORE_TRACK_BASE + core``;
+- serial/parallel phase spans sit on the single ``PHASE_TRACK``.
+
+The :class:`Tracer` also implements the engine's
+:class:`~repro.sim.engine.Observer` protocol, so it can be passed
+directly as ``Engine(observer=tracer)`` — every access then increments
+a per-thread count and each thread start names its track. The richer
+records (quanta, barriers, PMU interrupts, detector promotions) come
+from :class:`~repro.obs.hooks.Observability`, which drives the emit
+methods below from the engine's scheduler-level hooks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Observer
+
+#: All simulated processes share one Chrome pid.
+PID = 1
+#: Chrome-track offset for per-core event tracks.
+CORE_TRACK_BASE = 100_000
+#: Chrome track carrying serial/parallel phase spans.
+PHASE_TRACK = 99_999
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``ph`` follows the Chrome ``trace_event`` phase codes used here:
+    ``"X"`` complete span (``ts`` + ``dur``), ``"i"`` instant.
+    ``track`` is the Chrome ``tid`` (see module docstring for layout).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: int
+    track: int
+    dur: Optional[int] = None
+    args: Optional[Dict[str, object]] = None
+
+    def to_chrome(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": self.ts, "pid": PID, "tid": self.track,
+        }
+        if self.ph == "X":
+            record["dur"] = self.dur if self.dur is not None else 0
+        if self.ph == "i":
+            record["s"] = "t"  # instant scoped to its track
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+class Tracer(Observer):
+    """Collects :class:`TraceEvent` records with a hard retention cap.
+
+    Records past ``max_events`` are counted in :attr:`dropped` instead of
+    stored, so long runs cannot grow memory without bound. Thread-name
+    metadata lives outside the cap (a handful of entries, and dropping
+    them would unlabel every surviving event on that track).
+    """
+
+    #: No per-access cost: tracing must not perturb simulated timing.
+    cost_per_access: int = 0
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        #: track id -> display name ("M"/thread_name metadata records).
+        self.track_names: Dict[int, str] = {}
+        #: per-tid access counts maintained by the Observer protocol.
+        self.access_counts: Dict[int, int] = {}
+
+    # -- Observer protocol ---------------------------------------------------
+
+    def on_access(self, tid: int, core: int, addr: int, is_write: bool,
+                  latency: int, size: int, line: int) -> Optional[int]:
+        """Count the access against ``tid``; charges no extra cycles."""
+        self.access_counts[tid] = self.access_counts.get(tid, 0) + 1
+        return None
+
+    def on_thread_start(self, tid: int) -> None:
+        """Name the thread's track as soon as the engine creates it."""
+        self.track_names.setdefault(tid, f"thread {tid}")
+
+    # -- emission ------------------------------------------------------------
+
+    def name_track(self, track: int, name: str) -> None:
+        """Attach a display name to a track (idempotent, first name wins)."""
+        self.track_names.setdefault(track, name)
+
+    def emit(self, event: TraceEvent) -> bool:
+        """Retain ``event`` unless the cap is reached; returns retained?"""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return False
+        self.events.append(event)
+        return True
+
+    def span(self, name: str, cat: str, ts: int, dur: int, track: int,
+             args: Optional[Dict[str, object]] = None) -> bool:
+        return self.emit(TraceEvent(name=name, cat=cat, ph="X", ts=ts,
+                                    dur=dur, track=track, args=args))
+
+    def instant(self, name: str, cat: str, ts: int, track: int,
+                args: Optional[Dict[str, object]] = None) -> bool:
+        return self.emit(TraceEvent(name=name, cat=cat, ph="i", ts=ts,
+                                    track=track, args=args))
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Metadata records come first (by track id), then events in emission
+        order — the format does not require sorting, and emission order is
+        itself deterministic.
+        """
+        records: List[Dict[str, object]] = []
+        for track in sorted(self.track_names):
+            records.append({
+                "name": "thread_name", "ph": "M", "pid": PID,
+                "tid": track, "args": {"name": self.track_names[track]},
+            })
+        records.extend(event.to_chrome() for event in self.events)
+        trace: Dict[str, object] = {
+            "traceEvents": records,
+            "displayTimeUnit": "ns",
+        }
+        if self.dropped:
+            trace["metadata"] = {"dropped_events": self.dropped}
+        return trace
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line; byte-identical across identical runs.
+
+        Line 1 is a ``{"record": "meta", ...}`` header carrying the track
+        names and drop count; each following line is one event with a
+        ``"record"`` discriminator and every field spelled out.
+        """
+        lines = [json.dumps({
+            "record": "meta",
+            "dropped": self.dropped,
+            "tracks": {str(t): self.track_names[t]
+                       for t in sorted(self.track_names)},
+        }, sort_keys=True)]
+        for event in self.events:
+            lines.append(json.dumps({
+                "record": "event",
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.ph,
+                "ts": event.ts,
+                "track": event.track,
+                "dur": event.dur,
+                "args": event.args or {},
+            }, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())

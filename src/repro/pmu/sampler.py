@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.config import ConfigBase
 from repro.errors import ConfigError, SimulationError
 from repro.pmu.sample import MemorySample
 
@@ -32,7 +33,7 @@ SampleHandler = Callable[[MemorySample], None]
 
 
 @dataclass(frozen=True)
-class PMUConfig:
+class PMUConfig(ConfigBase):
     """Sampling parameters.
 
     Attributes:
@@ -81,6 +82,11 @@ class PMU:
         # traps). The profiler can subtract its own overhead from
         # runtime decompositions.
         self.overhead_by_tid: Dict[int, int] = {}
+        # Observability hook (set by Observability.wire). Fires always
+        # route through on_access/on_work even under the engine's fused
+        # burst loop, so sample/trap events are seen regardless of which
+        # burst path the run takes.
+        self.obs = None
 
     def install_handler(self, handler: SampleHandler) -> None:
         """Install the callback invoked with every memory sample."""
@@ -121,13 +127,19 @@ class PMU:
             ))
         self.overhead_by_tid[tid] = (self.overhead_by_tid.get(tid, 0)
                                      + self.config.handler_cost)
+        if self.obs is not None:
+            self.obs.on_pmu_sample(tid, core, addr, is_write,
+                                   self.config.handler_cost, timestamp)
         return self.config.handler_cost
 
-    def on_work(self, tid: int, instructions: int) -> int:
+    def on_work(self, tid: int, instructions: int,
+                now: Optional[int] = None) -> int:
         """Account ``instructions`` non-memory instructions at once.
 
         Fires that land inside the batch cost a trap each but deliver no
         sample (the handler discards non-memory IBS samples immediately).
+        ``now`` is the calling thread's clock after the batch, used only
+        to timestamp trap events for observability.
         """
         try:
             remaining = self._countdown[tid] - instructions
@@ -144,6 +156,8 @@ class PMU:
         cost = fires * self.config.trap_cost
         self.overhead_by_tid[tid] = (self.overhead_by_tid.get(tid, 0)
                                      + cost)
+        if self.obs is not None:
+            self.obs.on_pmu_trap(tid, fires, cost, now)
         return cost
 
     @staticmethod

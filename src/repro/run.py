@@ -1,0 +1,108 @@
+"""Canonical entry point for running one (workload, configuration) pair.
+
+Historically this lived in :mod:`repro.experiments.runner`; it moved here
+because every layer — CLI, experiments, validation, benchmarks, the
+:class:`repro.api.Session` facade — funnels through ``run_workload``,
+which makes it core machinery rather than experiment plumbing. The old
+import path still works via a deprecation shim.
+
+The paper runs each application five times and reports averages
+(Section 4.1); experiment helpers do the same over deterministic seeds —
+both the machine's timing-jitter seed (run-to-run hardware variation)
+and the PMU's sampling-jitter seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
+from repro.heap.allocator import CheetahAllocator
+from repro.obs import ObsConfig, Observability, current_default
+from repro.pmu.sampler import PMU, PMUConfig
+from repro.sim.engine import Engine, Observer, RunResult
+from repro.sim.machine import Machine
+from repro.sim.params import MachineConfig
+from repro.symbols.table import SymbolTable
+from repro.workloads.base import Workload
+
+DEFAULT_SEEDS: Tuple[int, ...] = (11, 22, 33)
+
+
+@dataclass
+class RunOutcome:
+    """Result of one workload run, optionally with a Cheetah report.
+
+    When the run was observed (``obs`` passed to :func:`run_workload`, or
+    an ambient default pushed via :func:`repro.obs.push_default`), the
+    finalized :class:`~repro.obs.Observability` rides along and
+    :attr:`metrics` exposes its registry snapshot.
+    """
+
+    result: RunResult
+    report: Optional[CheetahReport] = None
+    obs: Optional[Observability] = None
+
+    @property
+    def runtime(self) -> int:
+        return self.result.runtime
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Metrics snapshot of the run (``{}`` when metrics were off)."""
+        return self.obs.metrics_snapshot() if self.obs is not None else {}
+
+
+def run_workload(workload: Workload, *,
+                 machine_config: Optional[MachineConfig] = None,
+                 jitter_seed: int = 0xC0FFEE,
+                 pmu_config: Optional[PMUConfig] = None,
+                 with_cheetah: bool = False,
+                 cheetah_config: Optional[CheetahConfig] = None,
+                 observer: Optional[Observer] = None,
+                 check: bool = False,
+                 obs: Optional[Union[ObsConfig, Observability]] = None,
+                 ) -> RunOutcome:
+    """Run ``workload`` once on a fresh machine.
+
+    ``with_cheetah`` attaches the PMU and the Cheetah profiler;
+    ``observer`` attaches a full-instrumentation tool (Predator baseline);
+    ``check`` runs in sanitizer mode (every access shadowed against the
+    reference MESI oracle — slow, raises
+    :class:`~repro.errors.ValidationError` on divergence);
+    ``obs`` attaches the observability layer — pass an
+    :class:`~repro.obs.ObsConfig` (a fresh per-run
+    :class:`~repro.obs.Observability` is built from it) or an unwired
+    ``Observability`` instance. When ``None``, the ambient default pushed
+    via :func:`repro.obs.push_default` applies, if any.
+    """
+    config = machine_config or MachineConfig()
+    symbols = SymbolTable()
+    workload.setup(symbols)
+    machine = Machine(config, jitter_seed=jitter_seed, check=check)
+    observability = None
+    if obs is not None:
+        observability = (obs if isinstance(obs, Observability)
+                         else Observability(obs))
+    else:
+        default = current_default()
+        if default is not None:
+            observability = default.new_observability()
+    pmu = None
+    profiler = None
+    if with_cheetah:
+        pmu = PMU(pmu_config or PMUConfig())
+    # Engine(obs=...) wires the observability before the profiler
+    # attaches, so the detector picks up the promotion hook.
+    engine = Engine(config=config, machine=machine, symbols=symbols,
+                    pmu=pmu, observer=observer, obs=observability,
+                    allocator=CheetahAllocator(line_size=config.cache_line_size))
+    if with_cheetah:
+        profiler = CheetahProfiler(cheetah_config)
+        profiler.attach(engine)
+    result = engine.run(workload.main)
+    report = profiler.finalize(result) if profiler else None
+    if observability is not None:
+        observability.finalize(result, pmu=pmu, profiler=profiler)
+    return RunOutcome(result=result, report=report, obs=observability)

@@ -47,7 +47,7 @@ FULL_ITERATIONS = 24
 
 def run_invariant_suite(smoke: bool = False, echo=print) -> List[str]:
     """Sanitized workload runs; returns failure descriptions (empty = ok)."""
-    from repro.experiments.runner import run_workload
+    from repro.run import run_workload
     from repro.workloads import get_workload
 
     failures = []

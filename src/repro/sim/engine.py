@@ -46,24 +46,37 @@ _PIN_PRUNE_INTERVAL = 8192
 
 
 class Observer:
-    """Interface for full-instrumentation tools (Predator/Sheriff
-    baselines).
+    """Interface for tools that see every simulated memory access
+    (Predator/Sheriff baselines, trace recorders, the obs Tracer).
 
     ``cost_per_access`` cycles are charged to the accessing thread for
     every access — the flat instrumentation overhead the paper's
-    Section 4.2.3 comparison is about. ``on_access`` may additionally
-    return an integer of *extra* cycles to charge for this particular
-    access (page-fault-driven tools like Sheriff charge selectively).
+    Section 4.2.3 comparison is about.
     """
 
     cost_per_access: int = 0
 
     def on_access(self, tid: int, core: int, addr: int, is_write: bool,
                   latency: int, size: int, line: int) -> Optional[int]:
+        """Called once per access, after the machine resolved it.
+
+        Arguments match the engine's dispatch exactly: ``tid``/``core``
+        identify the accessing thread, ``addr`` and ``size`` the access,
+        ``latency`` the cycles the machine charged, and ``line`` the
+        cache line index (``addr >> line_shift``). The access has already
+        been applied to the machine and the thread's clock when this
+        fires. May return an ``int`` of *extra* cycles to charge for this
+        particular access (page-fault-driven tools like Sheriff charge
+        selectively); ``None`` or ``0`` charges nothing beyond
+        ``cost_per_access``.
+        """
         raise NotImplementedError
 
-    def on_thread_start(self, tid: int) -> None:  # pragma: no cover - hook
-        pass
+    def on_thread_start(self, tid: int) -> None:
+        """Called once per created thread (including main, ``tid`` 0),
+        after the PMU (if any) armed it and charged its setup cost.
+        Returns nothing; it cannot charge cycles.
+        """
 
 
 @dataclass
@@ -107,6 +120,7 @@ class Engine:
                  symbols: Optional[SymbolTable] = None,
                  pmu: Optional[Any] = None,
                  observer: Optional[Observer] = None,
+                 obs: Optional[Any] = None,
                  max_steps: int = 200_000_000):
         self.config = config or (machine.config if machine else MachineConfig())
         self.machine = machine or Machine(self.config)
@@ -115,6 +129,11 @@ class Engine:
         self.symbols = symbols or SymbolTable()
         self.pmu = pmu
         self.observer = observer
+        # Observability (repro.obs): wired via obs.wire(self), which sets
+        # this attribute back and installs the machine/PMU-side hooks.
+        self.obs = None
+        if obs is not None:
+            obs.wire(self)
         self.phase_tracker = PhaseTracker()
         self.api = ThreadAPI()
         self.threads: Dict[int, SimThread] = {}
@@ -163,6 +182,7 @@ class Engine:
         checkpoints = self._checkpoints
         machine = self.machine
         sanitizer = getattr(machine, "sanitizer", None)
+        obs = self.obs
         runnable = ThreadState.RUNNABLE
         max_steps = self._max_steps
         resume = self._resume
@@ -218,6 +238,9 @@ class Engine:
                 woken.clear()
             if sanitizer is not None:
                 sanitizer.note_quantum(thread)
+            if obs is not None:
+                # ``clock`` is the quantum's start (the popped value).
+                obs.note_quantum(thread, clock)
 
         unfinished = [t for t in threads.values()
                       if t.state is not ThreadState.FINISHED]
@@ -272,12 +295,16 @@ class Engine:
             thread.clock += self.pmu.on_thread_start(tid)
         if self.observer is not None:
             self.observer.on_thread_start(tid)
+        if self.obs is not None:
+            self.obs.on_thread_spawn(thread)
         return thread
 
     def _finish_thread(self, thread: SimThread) -> List[SimThread]:
         """Mark ``thread`` finished and wake any joiners."""
         thread.state = ThreadState.FINISHED
         thread.end_clock = thread.clock
+        if self.obs is not None:
+            self.obs.on_thread_finish(thread)
         woken = []
         for waiter in thread.join_waiters:
             self._complete_join(waiter, thread)
@@ -291,6 +318,8 @@ class Engine:
         parent.clock = max(parent.clock, child.end_clock) + self.config.join_cost
         parent.pending_value = None
         self.phase_tracker.on_join(parent.tid, child.tid, parent.clock)
+        if self.obs is not None:
+            self.obs.on_join(parent, child)
 
     # -- the scheduling quantum -------------------------------------------------
     # (the per-quantum advance loop is inlined in run(); see there)
@@ -383,6 +412,10 @@ class Engine:
             return False
         # Last arrival: release the whole round together.
         release = max(t.clock for t in waiting) + self.BARRIER_COST
+        if self.obs is not None:
+            self.obs.on_barrier_release(
+                op.key, [(t.tid, t.clock) for t in waiting], release,
+                self.BARRIER_COST)
         del self._barriers[op.key]
         for waiter in waiting:
             waiter.barrier_waits += release - self.BARRIER_COST - waiter.clock
@@ -410,7 +443,7 @@ class Engine:
         thread.clock += cycles
         thread.instructions += cycles
         if self.pmu is not None:
-            extra = self.pmu.on_work(thread.tid, cycles)
+            extra = self.pmu.on_work(thread.tid, cycles, thread.clock)
             if extra:
                 thread.clock += extra
 
@@ -457,10 +490,12 @@ class Engine:
         assert burst is not None
         machine = self.machine
         if (self.observer is not None or not machine._fast_private
-                or machine.sanitizer is not None):
-            # Sanitizer mode must shadow *every* access, so bursts take
-            # the general per-access loop (whose machine calls route
-            # through the checked entry point).
+                or machine.sanitizer is not None
+                or machine.obs is not None):
+            # Sanitizer and per-access observability modes must see
+            # *every* access, so bursts take the general per-access loop
+            # (whose machine calls route through the instance-rebound
+            # entry point).
             return self._run_burst_observed(thread, limit)
         pmu = self.pmu
 
@@ -595,7 +630,7 @@ class Engine:
                             cd -= work
                         else:
                             countdown[tid] = cd
-                            extra = pmu.on_work(tid, work)
+                            extra = pmu.on_work(tid, work, clock)
                             if extra:
                                 clock += extra
                             cd = countdown[tid]

@@ -128,6 +128,13 @@ class Machine:
         self.total_cycles = 0
         self.prefetch_hits = 0
         self.stall_cycles = 0
+        # Observability (repro.obs): when per-access instrumentation is
+        # enabled, Observability._attach_machine sets this and rebinds
+        # ``access_tuple`` on the instance to a counting/tracing wrapper
+        # (composing with the sanitizer's rebinding below, if any). The
+        # engine routes bursts through its general loop whenever it is
+        # set; with observability off this stays None and costs nothing.
+        self.obs = None
         # Sanitizer mode (``check=True``): every access is shadowed
         # against the reference MESI oracle in repro.sim.check. The
         # checked entry point is installed as an *instance* attribute so

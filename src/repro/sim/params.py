@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import ConfigBase
 from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
-class LatencyModel:
+class LatencyModel(ConfigBase):
     """Cycle costs per memory-access outcome.
 
     Attributes:
@@ -71,7 +72,7 @@ class LatencyModel:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
+class MachineConfig(ConfigBase):
     """Static description of the simulated machine.
 
     Attributes:

@@ -79,6 +79,99 @@ class TestProfile:
         assert "Padding advice" in out
 
 
+class TestTrace:
+    def test_trace_writes_chrome_file(self, tmp_path, capsys):
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "retained" in printed
+        import json
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ns"
+        assert any(r["ph"] == "M" for r in trace["traceEvents"])
+
+    def test_trace_jsonl_by_suffix(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--out", str(out)]) == 0
+        import json
+        first = json.loads(out.read_text().splitlines()[0])
+        assert first["record"] == "meta"
+
+    def test_trace_profile_adds_pmu_events(self, tmp_path):
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", "array_increment", "--threads", "4",
+                     "--scale", "0.2", "--profile", "--out",
+                     str(out)]) == 0
+        import json
+        names = {r["name"]
+                 for r in json.loads(out.read_text())["traceEvents"]}
+        assert "pmu_sample" in names
+
+    def test_trace_max_events_caps_buffer(self, tmp_path, capsys):
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--accesses", "--max-events", "5",
+                     "--out", str(out)]) == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestMetrics:
+    def test_metrics_prometheus_to_stdout(self, capsys):
+        assert main(["metrics", "array_increment", "--threads", "2",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sim_accesses_total counter" in out
+        assert "machine_accesses_total{" in out
+
+    def test_metrics_json_snapshot(self, capsys):
+        import json
+        assert main(["metrics", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--profile", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "pmu_samples_total" in snap["counters"]
+
+    def test_metrics_to_file(self, tmp_path):
+        out = tmp_path / "m.prom"
+        assert main(["metrics", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--out", str(out)]) == 0
+        assert "sim_runtime_cycles" in out.read_text()
+
+
+class TestObsFlags:
+    def test_run_with_metrics_flag(self, capsys):
+        assert main(["run", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime:" in out
+        assert "sim_accesses_total" in out
+
+    def test_profile_with_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "p.trace.json"
+        code = main(["profile", "array_increment", "--threads", "8",
+                     "--scale", "0.4", "--period", "32", "--trace",
+                     str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "trace written" in capsys.readouterr().err
+
+    def test_experiment_with_aggregated_metrics(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "agg.json"
+        assert main(["experiment", "figure1", "--scale", "0.05",
+                     "--metrics", str(out)]) == 0
+        agg = json.loads(out.read_text())
+        assert agg["runs"] > 0
+        assert agg["counters"]["sim_accesses_total"] > 0
+
+    def test_run_with_custom_machine_flags(self, capsys):
+        assert main(["run", "array_increment", "--threads", "2",
+                     "--scale", "0.1", "--line-size", "32",
+                     "--cores", "4"]) == 0
+        assert "runtime:" in capsys.readouterr().out
+
+
 class TestFixCheck:
     def test_fix_check_reports_both_numbers(self, capsys):
         code = main(["fix-check", "array_increment", "--threads", "8",

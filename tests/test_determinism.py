@@ -8,7 +8,7 @@ reordering or skipped bookkeeping shows up here as a changed runtime,
 invalidation count or report.
 """
 
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.workloads.phoenix import Histogram, LinearRegression
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro import CheetahConfig, profile, run_plain
 from repro.baselines.predator import PredatorDetector
 from repro.core.detection import SharingKind
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.heap.bump import BumpAllocator
 from repro.pmu.sampler import PMU, PMUConfig
 from repro.sim.engine import Engine

@@ -1,0 +1,172 @@
+"""Tracer unit tests, the golden Chrome trace, and trace determinism.
+
+The golden file at ``tests/data/golden_trace.json`` pins the exact
+Chrome ``trace_event`` bytes of a tiny fixed-seed program. If an engine
+timing change legitimately shifts the trace, regenerate it with::
+
+    PYTHONPATH=src python tests/test_obs_tracer.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.obs import CORE_TRACK_BASE, PHASE_TRACK, PID, ObsConfig, Tracer
+from repro.obs.tracer import TraceEvent
+from repro.run import run_workload
+from repro.workloads.micro import ArrayIncrement
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def tiny_program(api):
+    """Two workers ping-pong on adjacent lines: a handful of accesses,
+    every scheduler event kind, deterministic timing."""
+    buf = yield from api.malloc(256, callsite="tiny.py:buf")
+
+    def worker(api, base):
+        yield from api.loop(base, 4, 8, read=True, write=True, work=1)
+
+    tids = []
+    for i in range(2):
+        tids.append((yield from api.spawn(worker, buf + i * 64)))
+    yield from api.join_all(tids)
+
+
+def traced_session() -> Session:
+    return Session(tiny_program,
+                   obs=ObsConfig(metrics=False, trace_accesses=True))
+
+
+class TestTracerUnit:
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        assert tracer.instant("a", "t", 0, 1)
+        assert tracer.span("b", "t", 0, 5, 1)
+        assert not tracer.instant("c", "t", 1, 1)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 1
+
+    def test_track_names_exempt_from_cap(self):
+        tracer = Tracer(max_events=0)
+        tracer.name_track(3, "worker")
+        assert not tracer.instant("a", "t", 0, 3)
+        assert tracer.track_names[3] == "worker"
+
+    def test_name_track_first_wins(self):
+        tracer = Tracer()
+        tracer.name_track(1, "first")
+        tracer.name_track(1, "second")
+        assert tracer.track_names[1] == "first"
+
+    def test_span_and_instant_phases(self):
+        tracer = Tracer()
+        tracer.span("s", "cat", 10, 5, 2, args={"k": 1})
+        tracer.instant("i", "cat", 20, 2)
+        span, instant = tracer.events
+        assert (span.ph, span.ts, span.dur) == ("X", 10, 5)
+        assert (instant.ph, instant.dur) == ("i", None)
+
+    def test_chrome_export_shape(self):
+        tracer = Tracer()
+        tracer.name_track(1, "worker")
+        tracer.span("s", "cat", 0, 3, 1)
+        trace = tracer.to_chrome()
+        assert trace["displayTimeUnit"] == "ns"
+        meta, span = trace["traceEvents"]
+        assert meta["ph"] == "M" and meta["pid"] == PID
+        assert meta["args"]["name"] == "worker"
+        assert span["ph"] == "X" and span["dur"] == 3
+
+    def test_chrome_export_reports_drops(self):
+        tracer = Tracer(max_events=0)
+        tracer.instant("a", "t", 0, 1)
+        assert tracer.to_chrome()["metadata"] == {"dropped_events": 1}
+
+    def test_jsonl_header_then_events(self):
+        tracer = Tracer()
+        tracer.name_track(1, "worker")
+        tracer.instant("a", "t", 4, 1)
+        lines = tracer.to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        event = json.loads(lines[1])
+        assert header["record"] == "meta"
+        assert header["tracks"] == {"1": "worker"}
+        assert event == {"record": "event", "name": "a", "cat": "t",
+                         "ph": "i", "ts": 4, "track": 1, "dur": None,
+                         "args": {}}
+
+
+class TestObserverProtocol:
+    """A bare Tracer is a valid engine Observer (the hook contract the
+    ``Observer`` docstrings describe is exercised, not assumed)."""
+
+    def test_tracer_as_engine_observer(self):
+        tracer = Tracer()
+        outcome = run_workload(ArrayIncrement(num_threads=2, scale=0.1),
+                               observer=tracer)
+        # on_access fired once per access, on every thread.
+        assert sum(tracer.access_counts.values()) \
+            == outcome.result.total_accesses
+        # on_thread_start fired for main (tid 0) and both workers.
+        assert set(tracer.track_names) == {0, 1, 2}
+        assert tracer.track_names[0] == "thread 0"
+
+    def test_on_access_returns_no_extra_cycles(self):
+        assert Tracer().on_access(0, 0, 64, True, 3, 4, 1) is None
+
+
+class TestTraceContent:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return traced_session().run()
+
+    def test_event_catalogue(self, outcome):
+        names = {e.name for e in outcome.obs.tracer.events}
+        for expected in ("thread_spawn", "quantum", "join", "access",
+                         "serial", "parallel"):
+            assert expected in names, f"missing {expected} events"
+
+    def test_tracks_cover_threads_cores_phases(self, outcome):
+        tracks = outcome.obs.tracer.track_names
+        assert tracks[0].startswith("main")
+        assert tracks[PHASE_TRACK] == "phases"
+        assert any(t >= CORE_TRACK_BASE and t != PHASE_TRACK
+                   for t in tracks)
+
+    def test_timestamps_bounded_by_runtime(self, outcome):
+        runtime = outcome.runtime
+        for event in outcome.obs.tracer.events:
+            assert 0 <= event.ts <= runtime
+            if event.dur is not None:
+                assert event.ts + event.dur <= runtime
+
+    def test_phase_spans_partition_runtime(self, outcome):
+        spans = [e for e in outcome.obs.tracer.events if e.cat == "phase"]
+        assert sum(e.dur for e in spans) == outcome.runtime
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_jsonl(self):
+        first = traced_session().run().obs.tracer.to_jsonl()
+        second = traced_session().run().obs.tracer.to_jsonl()
+        assert first == second
+
+    def test_golden_chrome_trace(self, tmp_path):
+        out = tmp_path / "trace.json"
+        traced_session().run().obs.write_trace(str(out))
+        assert out.read_text() == GOLDEN.read_text(), (
+            "trace diverged from tests/data/golden_trace.json; if the "
+            "timing change is intentional, regenerate it (see module "
+            "docstring)")
+
+
+def _regenerate() -> None:
+    traced_session().run().obs.write_trace(str(GOLDEN))
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -11,7 +11,7 @@ parallel phases."
 import pytest
 
 from repro.core.detection import DetectorConfig, FalseSharingDetector, SharingKind
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.trace import TraceRecorder, replay_into_detector
 from repro.workloads.base import Workload
 

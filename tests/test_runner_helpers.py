@@ -6,13 +6,12 @@ import pytest
 
 from repro.experiments import full_report
 from repro.experiments.runner import (
-    RunOutcome,
     format_table,
     measure_overhead,
     measure_predicted_improvement,
     measure_real_improvement,
-    run_workload,
 )
+from repro.run import RunOutcome, run_workload
 from repro.workloads.micro import ArrayIncrement
 from repro.workloads.parsec import Swaptions
 

@@ -5,7 +5,7 @@ import pytest
 from repro import profile
 from repro.core.detection import SharingKind
 from repro.errors import ConfigError
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.heap.bump import BumpAllocator
 from repro.pmu.sampler import PMUConfig
 from repro.sim.engine import Engine

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.detection import DetectorConfig, FalseSharingDetector
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.heap.allocator import CheetahAllocator
 from repro.sim.engine import Engine
 from repro.sim.machine import Machine

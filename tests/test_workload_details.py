@@ -3,7 +3,7 @@ properties its role in the evaluation depends on."""
 
 import pytest
 
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.workloads import get_workload
 from repro.workloads.parsec import StreamCluster, X264
 from repro.workloads.phoenix import KMeans, LinearRegression, PCA

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.workloads import (
     FIGURE4_NAMES, PARSEC_NAMES, PHOENIX_NAMES,
     all_workload_names, get_workload,

@@ -16,7 +16,7 @@ import json
 import sys
 
 from repro.experiments import scaling
-from repro.experiments.runner import run_workload
+from repro.run import run_workload
 from repro.pmu.sampler import PMUConfig
 from repro.workloads import get_workload
 
