@@ -3,12 +3,10 @@ Effectively" (Liu & Liu, CGO 2016) on a simulated multicore substrate.
 
 Quick start::
 
-    from repro import profile
-    from repro.workloads import get_workload
+    from repro import Session
 
-    workload = get_workload("linear_regression")(num_threads=8)
-    result, report = profile(workload)
-    print(report.render())
+    session = Session("linear_regression", threads=8)
+    print(session.report().render())
 
 The package layers:
 
@@ -19,54 +17,82 @@ The package layers:
   Zhao et al. ownership rule;
 - ``repro.workloads`` — synthetic Phoenix/PARSEC benchmarks;
 - ``repro.experiments`` — regeneration of every table and figure in the
-  paper's evaluation.
+  paper's evaluation;
+- ``repro.service`` — the persistent run service (content-addressed
+  result cache + resilient job scheduler).
+
+Public API (v1)
+---------------
+
+``__all__`` below is the frozen v1 surface (``repro.__api_version__``),
+pinned by ``tests/test_public_api.py`` and documented in ``docs/api.md``:
+the session front door, the canonical runner and its outcome/config
+types, the error root, and the run-service entry points. Everything else
+is internal. The pre-v1 names (``profile``, ``run_plain``, and the raw
+substrate classes that used to leak through this module) still import
+but emit :class:`DeprecationWarning` via the module ``__getattr__``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+import warnings
+from typing import Any, List, Optional, Tuple
 
 from repro.api import Session
 from repro.core.detection import DetectorConfig
-from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
+from repro.core.profiler import CheetahConfig, CheetahReport
 from repro.errors import ReproError
-from repro.heap.allocator import CheetahAllocator
-from repro.obs import ObsConfig, Observability
-from repro.pmu.sampler import PMU, PMUConfig
-from repro.run import DEFAULT_SEEDS, RunOutcome, run_workload
-from repro.sim.engine import Engine, RunResult
+from repro.obs import ObsConfig
+from repro.pmu.sampler import PMUConfig
+from repro.run import DEFAULT_SEEDS, RunOutcome, RunSummary, run_workload
+from repro.service import (
+    JobFailure,
+    ResultStore,
+    RunService,
+    RunSpec,
+    Scheduler,
+    cached_run,
+    default_cache_dir,
+    using_service,
+)
 from repro.sim.params import LatencyModel, MachineConfig
-from repro.symbols.table import SymbolTable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Version of the frozen public surface below (not the package version).
+#: Bumped only when a name is added to or removed from ``__all__``.
+__api_version__ = 1
 
 __all__ = [
     "CheetahConfig",
-    "CheetahProfiler",
     "CheetahReport",
     "DEFAULT_SEEDS",
     "DetectorConfig",
-    "Engine",
+    "JobFailure",
     "LatencyModel",
     "MachineConfig",
     "ObsConfig",
-    "Observability",
-    "PMU",
     "PMUConfig",
     "ReproError",
+    "ResultStore",
     "RunOutcome",
-    "RunResult",
+    "RunService",
+    "RunSpec",
+    "RunSummary",
+    "Scheduler",
     "Session",
-    "SymbolTable",
-    "profile",
-    "run_plain",
+    "cached_run",
+    "default_cache_dir",
     "run_workload",
+    "using_service",
+    "__api_version__",
     "__version__",
 ]
 
 
-def _prepare(workload_or_fn: Any, symbols: Optional[SymbolTable]):
+def _prepare(workload_or_fn: Any, symbols):
     """Accept either a Workload object or a bare generator function."""
+    from repro.symbols.table import SymbolTable
     if hasattr(workload_or_fn, "main") and hasattr(workload_or_fn, "setup"):
         table = symbols or SymbolTable()
         workload_or_fn.setup(table)
@@ -74,10 +100,12 @@ def _prepare(workload_or_fn: Any, symbols: Optional[SymbolTable]):
     return workload_or_fn, symbols or SymbolTable()
 
 
-def run_plain(workload_or_fn: Any, *args: Any,
-              machine_config: Optional[MachineConfig] = None,
-              symbols: Optional[SymbolTable] = None) -> RunResult:
+def _run_plain(workload_or_fn: Any, *args: Any,
+               machine_config: Optional[MachineConfig] = None,
+               symbols=None):
     """Run a workload without any profiling (the "pthreads" baseline)."""
+    from repro.heap.allocator import CheetahAllocator
+    from repro.sim.engine import Engine
     main_fn, table = _prepare(workload_or_fn, symbols)
     config = machine_config or MachineConfig()
     engine = Engine(config=config, symbols=table,
@@ -85,13 +113,16 @@ def run_plain(workload_or_fn: Any, *args: Any,
     return engine.run(main_fn, *args)
 
 
-def profile(workload_or_fn: Any, *args: Any,
-            machine_config: Optional[MachineConfig] = None,
-            pmu_config: Optional[PMUConfig] = None,
-            cheetah_config: Optional[CheetahConfig] = None,
-            symbols: Optional[SymbolTable] = None,
-            ) -> Tuple[RunResult, CheetahReport]:
+def _profile(workload_or_fn: Any, *args: Any,
+             machine_config: Optional[MachineConfig] = None,
+             pmu_config: Optional[PMUConfig] = None,
+             cheetah_config: Optional[CheetahConfig] = None,
+             symbols=None) -> Tuple[Any, CheetahReport]:
     """Run a workload under Cheetah; returns (run result, report)."""
+    from repro.core.profiler import CheetahProfiler
+    from repro.heap.allocator import CheetahAllocator
+    from repro.pmu.sampler import PMU
+    from repro.sim.engine import Engine
     main_fn, table = _prepare(workload_or_fn, symbols)
     config = machine_config or MachineConfig()
     pmu = PMU(pmu_config or PMUConfig())
@@ -102,3 +133,51 @@ def profile(workload_or_fn: Any, *args: Any,
     result = engine.run(main_fn, *args)
     report = profiler.finalize(result)
     return result, report
+
+
+# Pre-v1 names still importable from here, with a DeprecationWarning and
+# a pointer at the supported spelling. Kept out of module globals so the
+# PEP 562 __getattr__ below fires for them.
+_DEPRECATED = {
+    "profile": (lambda: _profile,
+                "use repro.Session(...).profile() (or repro.run_workload "
+                "with with_cheetah=True)"),
+    "run_plain": (lambda: _run_plain,
+                  "use repro.Session(...).run() (or repro.run_workload)"),
+    "Engine": (lambda: _import("repro.sim.engine", "Engine"),
+               "import it from repro.sim.engine"),
+    "RunResult": (lambda: _import("repro.sim.engine", "RunResult"),
+                  "import it from repro.sim.engine"),
+    "PMU": (lambda: _import("repro.pmu.sampler", "PMU"),
+            "import it from repro.pmu.sampler"),
+    "CheetahProfiler": (lambda: _import("repro.core.profiler",
+                                        "CheetahProfiler"),
+                        "import it from repro.core.profiler"),
+    "SymbolTable": (lambda: _import("repro.symbols.table", "SymbolTable"),
+                    "import it from repro.symbols.table"),
+    "Observability": (lambda: _import("repro.obs", "Observability"),
+                      "import it from repro.obs"),
+    "CheetahAllocator": (lambda: _import("repro.heap.allocator",
+                                         "CheetahAllocator"),
+                         "import it from repro.heap.allocator"),
+}
+
+
+def _import(module: str, name: str) -> Any:
+    import importlib
+    return getattr(importlib.import_module(module), name)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED:
+        loader, hint = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.{name} is not part of the frozen v1 API and will be "
+            f"removed; {hint}",
+            DeprecationWarning, stacklevel=2)
+        return loader()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(list(globals()) + list(_DEPRECATED))

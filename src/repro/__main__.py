@@ -1,8 +1,19 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+Exit codes: 0 success, 1 failure (including any
+:class:`~repro.errors.ReproError` raised by a command), 2 usage error
+(argparse). In-process callers of :func:`repro.cli.main` see the
+exception itself; only the process entry point flattens it to a code.
+"""
 
 import sys
 
 from repro.cli import main
+from repro.errors import ReproError
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(1)

@@ -24,22 +24,46 @@ would change its access stream. A pre-built instance is used as-is
 (run it once, or accept that a second run continues its rng stream).
 
 Results are computed lazily and cached: ``.run()`` and ``.profile()``
-each execute at most once per session.
+each execute at most once per session. The memo is keyed by the
+*content* of the session's configuration (the
+:meth:`repro.service.RunSpec.key` hash), not by session identity, so two
+equal sessions share one result — and when an ambient
+:class:`repro.service.RunService` is active, that shared result lives in
+its persistent store. Sessions with an observer, a coherence check, an
+observability collector, or a non-registry workload always execute.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.core.detection import DetectorConfig
 from repro.core.profiler import CheetahConfig, CheetahReport
 from repro.errors import ConfigError
 from repro.obs import ObsConfig, Observability
+from repro.obs import current_default as _obs_default
 from repro.pmu.sampler import PMUConfig
 from repro.run import RunOutcome, run_workload
+from repro.service import RunSpec, current_service, spec_for_workload_cls
 from repro.sim.engine import Observer
 from repro.sim.params import MachineConfig
 from repro.workloads import Workload, get_workload
+
+#: In-process memo shared by every Session without an ambient service,
+#: keyed by RunSpec content hash. Bounded: oldest entries fall out first.
+_MEMO: Dict[str, RunOutcome] = {}
+_MEMO_MAX = 64
+
+
+def _memo_put(key: str, outcome: RunOutcome) -> None:
+    while len(_MEMO) >= _MEMO_MAX:
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = outcome
+
+
+def clear_session_memo() -> None:
+    """Drop the in-process Session result memo (tests, long processes)."""
+    _MEMO.clear()
 
 
 class _CallableWorkload(Workload):
@@ -100,6 +124,13 @@ class Session:
                  check: bool = False):
         overrides = (threads is not None or scale != 1.0 or fixed
                      or seed != 0)
+        # Remembered for content-hash memoization: only sessions that
+        # build a registry workload themselves have a well-defined
+        # RunSpec (instances carry hidden rng state; ad-hoc callables
+        # carry arbitrary code).
+        self._workload_cls: Optional[type] = None
+        self._build_kwargs: Dict[str, Any] = dict(
+            num_threads=threads, scale=scale, fixed=fixed, seed=seed)
         if isinstance(workload, Workload):
             if overrides:
                 raise ConfigError(
@@ -110,10 +141,12 @@ class Session:
             self._make_workload = lambda: instance
         elif isinstance(workload, type) and issubclass(workload, Workload):
             cls = workload
+            self._workload_cls = cls
             self._make_workload = lambda: cls(
                 num_threads=threads, scale=scale, fixed=fixed, seed=seed)
         elif isinstance(workload, str):
             cls = get_workload(workload)
+            self._workload_cls = cls
             self._make_workload = lambda: cls(
                 num_threads=threads, scale=scale, fixed=fixed, seed=seed)
         elif callable(workload):
@@ -156,7 +189,41 @@ class Session:
         assert outcome.report is not None
         return outcome.report
 
+    def _spec(self, with_cheetah: bool) -> Optional[RunSpec]:
+        """The content-addressed spec of this run, or None if uncacheable.
+
+        Sessions that watch the simulation happen (observer, obs
+        collector, coherence check) and sessions whose workload is not a
+        canonical registry class have no spec: they must execute.
+        """
+        if (self._workload_cls is None or self.observer is not None
+                or self.obs is not None or self.check):
+            return None
+        return spec_for_workload_cls(
+            self._workload_cls,
+            jitter_seed=self.jitter_seed,
+            with_cheetah=with_cheetah,
+            machine_config=self.machine,
+            pmu_config=self.pmu,
+            cheetah_config=self.cheetah,
+            **self._build_kwargs)
+
     def _execute(self, with_cheetah: bool) -> RunOutcome:
+        spec = self._spec(with_cheetah)
+        if spec is not None and _obs_default() is None:
+            service = current_service()
+            if service is not None and service.enabled:
+                return service.run(spec)
+            key = spec.key()
+            cached = _MEMO.get(key)
+            if cached is not None:
+                return cached
+            outcome = self._execute_direct(with_cheetah)
+            _memo_put(key, outcome)
+            return outcome
+        return self._execute_direct(with_cheetah)
+
+    def _execute_direct(self, with_cheetah: bool) -> RunOutcome:
         return run_workload(
             self._make_workload(),
             machine_config=self.machine,

@@ -10,6 +10,18 @@
     python -m repro fix-check streamcluster --threads 8
     python -m repro compare histogram
     python -m repro experiment table1 --scale 0.5
+    python -m repro cache stats
+
+Conventions shared by every subcommand:
+
+- ``--json`` switches the primary stdout output to machine-readable
+  JSON (diagnostics stay on stderr);
+- commands that simulate accept ``--cache`` / ``--no-cache`` /
+  ``--cache-dir DIR`` (default: cache on, at ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``) and ``--seed``;
+- matrix commands accept ``--jobs N``;
+- process exit codes: 0 success, 1 failure (including a negative
+  ``profile`` verdict and internal errors), 2 usage error (argparse).
 """
 
 from __future__ import annotations
@@ -18,7 +30,8 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro import __version__
 from repro.api import Session
@@ -31,6 +44,13 @@ from repro.experiments import (
 )
 from repro.obs import aggregate_snapshots, pop_default, push_default
 from repro.run import run_workload
+from repro.service import (
+    RunService,
+    cached_run,
+    current_service,
+    default_cache_dir,
+    using_service,
+)
 from repro.workloads import all_workload_names, get_workload
 
 EXPERIMENTS = {
@@ -62,12 +82,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cheetah (CGO'16) reproduction: false sharing "
-                    "detection on a simulated multicore.")
+                    "detection on a simulated multicore.",
+        epilog="exit codes: 0 success, 1 failure, 2 usage error")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available workloads")
+    # Shared flag vocabulary (argparse parents): every subcommand takes
+    # --json; everything that simulates takes the cache flags; matrix
+    # commands take --jobs.
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON on stdout")
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    cache_parent.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="serve identical runs from the result store (default)")
+    cache_parent.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="always simulate; do not read or write the result store")
+    cache_parent.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result store location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent cells over N worker processes "
+             "(default: serial)")
+
+    sub.add_parser("list", parents=[json_parent],
+                   help="list available workloads")
 
     def add_workload_args(p):
         p.add_argument("workload", help="workload name (see 'list')")
@@ -94,23 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write run metrics in Prometheus text format "
                             "to FILE ('-' or no value: stdout)")
 
-    run_p = sub.add_parser("run", help="run a workload natively")
+    run_p = sub.add_parser("run", parents=[json_parent, cache_parent],
+                           help="run a workload natively")
     add_workload_args(run_p)
     add_obs_flags(run_p)
 
-    prof_p = sub.add_parser("profile", help="run a workload under Cheetah")
+    prof_p = sub.add_parser("profile", parents=[json_parent, cache_parent],
+                            help="run a workload under Cheetah")
     add_workload_args(prof_p)
     prof_p.add_argument("--period", type=int, default=None,
                         help="PMU sampling period in instructions")
     prof_p.add_argument("--true-sharing", action="store_true",
                         help="include true-sharing instances in the report")
-    prof_p.add_argument("--json", action="store_true",
-                        help="emit the report as JSON instead of text")
     add_obs_flags(prof_p)
 
     trace_p = sub.add_parser(
-        "trace", help="run a workload and write an execution trace "
-                      "(Chrome trace_event, Perfetto-loadable)")
+        "trace", parents=[json_parent],
+        help="run a workload and write an execution trace "
+             "(Chrome trace_event, Perfetto-loadable)")
     add_workload_args(trace_p)
     trace_p.add_argument("--out", metavar="FILE", default=None,
                          help="output path (default: <workload>.trace.json)")
@@ -130,13 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="PMU sampling period (implies --profile)")
 
     met_p = sub.add_parser(
-        "metrics", help="run a workload and report simulator metrics")
+        "metrics", parents=[json_parent],
+        help="run a workload and report simulator metrics")
     add_workload_args(met_p)
     met_p.add_argument("--out", metavar="FILE", default="-",
                        help="output path ('-': stdout)")
-    met_p.add_argument("--json", action="store_true",
-                       help="emit the snapshot as JSON instead of "
-                            "Prometheus text")
     met_p.add_argument("--profile", action="store_true",
                        help="attach the PMU and Cheetah (adds pmu/"
                             "detector metrics)")
@@ -144,25 +189,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="PMU sampling period (implies --profile)")
 
     fix_p = sub.add_parser(
-        "fix-check",
+        "fix-check", parents=[json_parent, cache_parent],
         help="measure the real speedup of the padding fix and compare "
              "with Cheetah's prediction")
     add_workload_args(fix_p)
 
     cmp_p = sub.add_parser(
-        "compare", help="run Cheetah, Predator and Sheriff on a workload")
+        "compare", parents=[json_parent, cache_parent],
+        help="run Cheetah, Predator and Sheriff on a workload")
     add_workload_args(cmp_p)
 
-    exp_p = sub.add_parser("experiment",
-                           help="regenerate a paper table/figure")
+    exp_p = sub.add_parser(
+        "experiment", parents=[json_parent, cache_parent, jobs_parent],
+        help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS),
                        help="which artifact to regenerate")
     exp_p.add_argument("--scale", type=float, default=1.0)
-    exp_p.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="fan independent experiment cells over N processes "
-             f"(supported: {', '.join(sorted(parallel.RUNNERS))}; "
-             "default: serial)")
     exp_p.add_argument("--trace", metavar="DIR", default=None,
                        help="write one Chrome trace per run into DIR "
                             "(forces serial execution)")
@@ -173,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "forces serial execution)")
 
     validate_p = sub.add_parser(
-        "validate",
+        "validate", parents=[json_parent],
         help="run the coherence sanitizer invariant suite, the "
              "differential fuzzer and the mutation self-test")
     validate_p.add_argument("--smoke", action="store_true",
@@ -185,8 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fuzz program count")
 
     bench_p = sub.add_parser(
-        "bench", help="run the engine perf-regression bench "
-                      "(records BENCH_engine.json)")
+        "bench", parents=[json_parent],
+        help="run the engine perf-regression bench "
+             "(records BENCH_engine.json)")
     bench_p.add_argument("--repeats", type=int, default=3,
                          help="wall-clock repeats per metric (best kept)")
     bench_p.add_argument("--label", default="current",
@@ -194,11 +237,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-update", action="store_true",
                          help="measure and compare without rewriting "
                               "BENCH_engine.json")
+    bench_p.add_argument("--service", action="store_true",
+                         help="run the run-service cold/warm cache bench "
+                              "instead (records BENCH_service.json)")
+
+    cache_p = sub.add_parser(
+        "cache", parents=[json_parent],
+        help="inspect or maintain the persistent result store")
+    cache_p.add_argument("action", choices=("stats", "gc", "clear"),
+                         help="stats: entry/byte/hit counts; gc: evict by "
+                              "age/count and quarantine stray tmp files; "
+                              "clear: drop every entry")
+    cache_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="result store location (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_p.add_argument("--max-entries", type=int, default=None,
+                         help="gc: keep at most this many newest entries")
+    cache_p.add_argument("--max-age", type=float, default=None,
+                         metavar="SECONDS",
+                         help="gc: evict entries older than this")
     return parser
 
 
+def _print_json(data) -> None:
+    print(json.dumps(data, indent=2, sort_keys=True))
+
+
 def cmd_list(args) -> int:
-    print(f"{'name':<20} {'suite':<8} {'threads':<8} false-sharing")
+    rows = []
     for name in all_workload_names():
         cls = get_workload(name)
         if cls.documented_false_sharing:
@@ -206,7 +272,15 @@ def cmd_list(args) -> int:
                   else "negligible")
         else:
             fs = "-"
-        print(f"{name:<20} {cls.suite:<8} {cls.default_threads:<8} {fs}")
+        rows.append({"name": name, "suite": cls.suite,
+                     "threads": cls.default_threads, "false_sharing": fs})
+    if args.json:
+        _print_json(rows)
+        return 0
+    print(f"{'name':<20} {'suite':<8} {'threads':<8} false-sharing")
+    for row in rows:
+        print(f"{row['name']:<20} {row['suite']:<8} "
+              f"{row['threads']:<8} {row['false_sharing']}")
     return 0
 
 
@@ -259,13 +333,25 @@ def cmd_run(args) -> int:
     configs = build_configs(args)
     outcome = _session(args, configs).run()
     result = outcome.result
+    # RunSummary (cache hit) and RunResult (live run) both answer these;
+    # invalidations go through the outcome so a cached run — which has
+    # no machine — reports its recorded ground truth.
+    if args.json:
+        _print_json({
+            "workload": args.workload,
+            "runtime": outcome.runtime,
+            "threads": len(result.threads) - 1,
+            "accesses": result.total_accesses,
+            "invalidations": outcome.invalidations,
+            "from_cache": outcome.from_cache,
+        })
+        _write_obs_outputs(args, outcome)
+        return 0
     print(f"workload:       {args.workload}")
-    print(f"runtime:        {result.runtime:,} cycles")
+    print(f"runtime:        {outcome.runtime:,} cycles")
     print(f"threads:        {len(result.threads) - 1} workers")
     print(f"accesses:       {result.total_accesses:,}")
-    print(f"invalidations:  "
-          f"{result.machine.directory.total_invalidations():,} "
-          "(ground truth)")
+    print(f"invalidations:  {outcome.invalidations:,} (ground truth)")
     _write_obs_outputs(args, outcome)
     return 0
 
@@ -298,6 +384,16 @@ def cmd_trace(args) -> int:
     fmt = _trace_format(out, args.format)
     outcome.obs.write_trace(out, format=fmt)
     tracer = outcome.obs.tracer
+    if args.json:
+        _print_json({
+            "workload": args.workload,
+            "runtime": outcome.runtime,
+            "events": len(tracer.events),
+            "dropped": tracer.dropped,
+            "trace": out,
+            "format": fmt,
+        })
+        return 0
     print(f"workload:  {args.workload}")
     print(f"runtime:   {outcome.runtime:,} cycles")
     print(f"events:    {len(tracer.events):,} retained, "
@@ -327,15 +423,25 @@ def cmd_fix_check(args) -> int:
     kwargs = dict(num_threads=configs.workload_kwargs["num_threads"],
                   scale=configs.workload_kwargs["scale"])
     seed = configs.jitter_seed
-    original = run_workload(cls(**kwargs), jitter_seed=seed,
-                            machine_config=configs.machine)
-    fixed = run_workload(cls(fixed=True, **kwargs), jitter_seed=seed,
-                         machine_config=configs.machine)
-    profiled = run_workload(cls(**kwargs), jitter_seed=seed,
-                            machine_config=configs.machine,
-                            with_cheetah=True)
+    original = cached_run(cls, jitter_seed=seed,
+                          machine_config=configs.machine, **kwargs)
+    fixed = cached_run(cls, fixed=True, jitter_seed=seed,
+                       machine_config=configs.machine, **kwargs)
+    profiled = cached_run(cls, jitter_seed=seed,
+                          machine_config=configs.machine,
+                          with_cheetah=True, **kwargs)
     real = original.runtime / fixed.runtime
     best = profiled.report.best()
+    if args.json:
+        _print_json({
+            "workload": args.workload,
+            "runtime_original": original.runtime,
+            "runtime_fixed": fixed.runtime,
+            "real_improvement": real,
+            "predicted_improvement":
+                best.improvement if best is not None else None,
+        })
+        return 0 if best is not None else 1
     print(f"runtime (original): {original.runtime:,} cycles")
     print(f"runtime (fixed):    {fixed.runtime:,} cycles")
     print(f"real improvement:   {real:.3f}x")
@@ -354,11 +460,12 @@ def cmd_compare(args) -> int:
                   scale=configs.workload_kwargs["scale"])
     seed = configs.jitter_seed
     machine = configs.machine
-    native = run_workload(cls(**kwargs), jitter_seed=seed,
-                          machine_config=machine)
-
-    cheetah = run_workload(cls(**kwargs), jitter_seed=seed,
-                           machine_config=machine, with_cheetah=True)
+    # Observer runs must execute (their findings are read off the live
+    # allocator); the native and Cheetah runs go through the cache.
+    native = cached_run(cls, jitter_seed=seed, machine_config=machine,
+                        **kwargs)
+    cheetah = cached_run(cls, jitter_seed=seed, machine_config=machine,
+                         with_cheetah=True, **kwargs)
     predator = PredatorDetector(min_invalidations=40)
     predator_run = run_workload(cls(**kwargs), jitter_seed=seed,
                                 machine_config=machine, observer=predator)
@@ -376,6 +483,11 @@ def cmd_compare(args) -> int:
             sheriff_run.result.allocator, sheriff_run.result.symbols)),
          sheriff_run.runtime / native.runtime),
     ]
+    if args.json:
+        _print_json([{"tool": tool, "detects_false_sharing": detected,
+                      "overhead": overhead}
+                     for tool, detected, overhead in rows])
+        return 0
     print(f"{'tool':<10} {'detects FS':<12} overhead")
     for tool, detected, overhead in rows:
         print(f"{tool:<10} {'yes' if detected else 'no':<12} "
@@ -408,6 +520,29 @@ def _write_experiment_obs(args, handle) -> None:
         _write_text(args.metrics, text, "aggregated metrics")
 
 
+def _report_failures(result) -> None:
+    for failure in getattr(result, "failures", ()):
+        print(f"warning: {failure.render()}", file=sys.stderr)
+
+
+def _report_cache(args, rendered: str) -> int:
+    """Emit the experiment output plus the ambient service's cache stats."""
+    service = current_service()
+    stats = service.stats() if service is not None else None
+    if args.json:
+        _print_json({"name": args.name, "render": rendered,
+                     "cache": stats})
+    else:
+        print(rendered)
+        if stats is not None and service.enabled:
+            total = stats["hits"] + stats["misses"]
+            ratio = stats["hits"] / total if total else 0.0
+            print(f"cache: {stats['hits']} hit(s), {stats['misses']} "
+                  f"miss(es) ({ratio:.0%} served from cache) at "
+                  f"{stats['root']}", file=sys.stderr)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     configs = build_configs(args)
     jobs = getattr(args, "jobs", None)
@@ -426,16 +561,16 @@ def cmd_experiment(args) -> int:
                       "running serially", file=sys.stderr)
             else:
                 result = runner(scale=args.scale, jobs=jobs)
-                print(result.render())
-                return 0
+                _report_failures(result)
+                return _report_cache(args, result.render())
         result = EXPERIMENTS[args.name](args)
-        print(result.render())
+        rendered = result.render()
     finally:
         if handle is not None:
             pop_default()
     if handle is not None:
         _write_experiment_obs(args, handle)
-    return 0
+    return _report_cache(args, rendered)
 
 
 def cmd_validate(args) -> int:
@@ -447,15 +582,60 @@ def cmd_validate(args) -> int:
         argv += ["--seed", str(args.seed)]
     if args.iterations is not None:
         argv += ["--iterations", str(args.iterations)]
-    return validate.main(argv)
+    code = validate.main(argv)
+    if args.json:
+        _print_json({"command": "validate", "ok": code == 0})
+    return code
 
 
 def cmd_bench(args) -> int:
-    from repro import bench
-    argv = ["--repeats", str(args.repeats), "--label", args.label]
-    if args.no_update:
-        argv.append("--no-update")
-    return bench.main(argv)
+    if args.service:
+        from repro.service import bench as service_bench
+        argv = ["--label", args.label]
+        if args.no_update:
+            argv.append("--no-update")
+        code = service_bench.main(argv)
+    else:
+        from repro import bench
+        argv = ["--repeats", str(args.repeats), "--label", args.label]
+        if args.no_update:
+            argv.append("--no-update")
+        code = bench.main(argv)
+    if args.json:
+        _print_json({"command": "bench", "ok": code == 0})
+    return code
+
+
+def cmd_cache(args) -> int:
+    from repro.service import ResultStore
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            _print_json(stats)
+            return 0
+        print(f"store:             {stats['root']} "
+              f"(format {stats['format']})")
+        print(f"entries:           {stats['entries']}")
+        print(f"bytes:             {stats['bytes']:,}")
+        print(f"quarantined files: {stats['quarantined_files']}")
+        return 0
+    if args.action == "gc":
+        result = store.gc(max_entries=args.max_entries,
+                          max_age_seconds=args.max_age)
+        if args.json:
+            _print_json(result)
+            return 0
+        print(f"evicted {result['evicted']} entr(ies), quarantined "
+              f"{result['tmp_quarantined']} stray tmp file(s); "
+              f"{result['remaining']} entr(ies) remain")
+        return 0
+    removed = store.clear()
+    if args.json:
+        _print_json({"removed": removed})
+        return 0
+    print(f"removed {removed} entr(ies)")
+    return 0
 
 
 COMMANDS = {
@@ -469,12 +649,33 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "validate": cmd_validate,
     "bench": cmd_bench,
+    "cache": cmd_cache,
 }
+
+
+@contextmanager
+def _maybe_service(args) -> Iterator[None]:
+    """Push an ambient run service for subcommands that simulate.
+
+    Commands carrying the cache flags (run/profile/fix-check/compare/
+    experiment) get a :class:`~repro.service.RunService` rooted at
+    ``--cache-dir`` for the duration of the command; ``--no-cache``
+    pushes it disabled, so every run executes and nothing is stored.
+    """
+    if not hasattr(args, "cache"):
+        yield
+        return
+    service = RunService(cache_dir=getattr(args, "cache_dir", None),
+                         enabled=args.cache,
+                         jobs=getattr(args, "jobs", None))
+    with using_service(service):
+        yield
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    with _maybe_service(args):
+        return COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -112,6 +112,9 @@ class CLIConfigs:
     pmu: Optional[Any]      # PMUConfig
     cheetah: Optional[Any]  # CheetahConfig
     obs: Optional[Any]      # ObsConfig
+    cache_enabled: bool = True
+    cache_dir: Optional[str] = None  # None: repro.service.default_cache_dir
+    jobs: Optional[int] = None
 
 
 def build_configs(args: Any) -> CLIConfigs:
@@ -171,4 +174,7 @@ def build_configs(args: Any) -> CLIConfigs:
         pmu=pmu,
         cheetah=cheetah,
         obs=obs,
+        cache_enabled=bool(get("cache", True)),
+        cache_dir=get("cache_dir"),
+        jobs=get("jobs"),
     )

@@ -3,16 +3,22 @@
 Text reports are for humans; tooling (CI gates, dashboards, diffing two
 profiling runs) wants structured data. ``report_to_dict`` flattens a
 :class:`~repro.core.profiler.CheetahReport` into plain dicts/lists that
-``json.dumps`` accepts unchanged.
+``json.dumps`` accepts unchanged, and ``report_from_dict`` rebuilds an
+equivalent report object from that form — the round trip behind the
+:mod:`repro.service` result store (a cached profiled run rehydrates its
+report from JSON and renders byte-identically to the live one).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Mapping
 
+from repro.core.assessment import Assessment
+from repro.core.detection import ObjectProfile, SharingKind
 from repro.core.profiler import CheetahReport
 from repro.core.report import ObjectReport
+from repro.errors import SchemaError
 
 
 def instance_to_dict(report: ObjectReport) -> Dict[str, Any]:
@@ -24,6 +30,7 @@ def instance_to_dict(report: ObjectReport) -> Dict[str, Any]:
         "object": {
             "type": p.kind,
             "label": p.label,
+            "key": list(p.key),
             "start": p.start,
             "end": p.end,
             "size": p.size,
@@ -46,6 +53,8 @@ def instance_to_dict(report: ObjectReport) -> Dict[str, Any]:
             "predicted_runtime": a.predicted_runtime,
             "aver_nofs_cycles": a.aver_nofs_cycles,
             "fork_join_ok": a.fork_join_ok,
+            "pred_rt_per_thread": {str(tid): value for tid, value
+                                   in a.pred_rt_per_thread.items()},
         },
         "words": {
             str(rel_word * 4): {
@@ -78,3 +87,84 @@ def report_to_json(report: CheetahReport, indent: int = 2) -> str:
     """Serialize a report to a JSON string."""
     return json.dumps(report_to_dict(report), indent=indent,
                       sort_keys=True)
+
+
+# -- the inverse direction (service result store rehydration) ----------------
+
+def _int_keyed(mapping: Mapping[Any, Any]) -> Dict[int, Any]:
+    """Re-int the keys JSON stringified."""
+    return {int(k): v for k, v in mapping.items()}
+
+
+def instance_from_dict(data: Mapping[str, Any]) -> ObjectReport:
+    """Rebuild one sharing instance from :func:`instance_to_dict` form."""
+    try:
+        obj = data["object"]
+        sampled = data["sampled"]
+        assessed = data["assessment"]
+        key = obj["key"]
+        profile = ObjectProfile(
+            key=(key[0], key[1]),
+            kind=obj["type"],
+            start=obj["start"],
+            end=obj["end"],
+            size=obj["size"],
+            label=obj["label"],
+            lines=set(obj["lines"]),
+            accesses=sampled["accesses"],
+            writes=sampled["writes"],
+            invalidations=sampled["invalidations"],
+            total_latency=sampled["total_latency"],
+            shared_word_accesses=sampled["shared_word_accesses"],
+            per_tid_accesses=_int_keyed(sampled["per_thread_accesses"]),
+            per_tid_cycles=_int_keyed(sampled["per_thread_cycles"]),
+            word_summary={
+                int(offset) // 4: {
+                    "tids": list(info["threads"]),
+                    "reads": info["reads"],
+                    "writes": info["writes"],
+                    "shared": info["shared"],
+                }
+                for offset, info in data.get("words", {}).items()
+            },
+        )
+        assessment = Assessment(
+            improvement=assessed["improvement"],
+            real_runtime=assessed["real_runtime"],
+            predicted_runtime=assessed["predicted_runtime"],
+            aver_nofs_cycles=assessed["aver_nofs_cycles"],
+            pred_rt_per_thread={
+                int(tid): value for tid, value
+                in assessed.get("pred_rt_per_thread", {}).items()},
+            fork_join_ok=assessed["fork_join_ok"],
+        )
+        return ObjectReport(profile=profile, assessment=assessment,
+                            kind=SharingKind(data["kind"]))
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SchemaError(
+            f"malformed sharing-instance payload: {exc!r}") from exc
+
+
+def report_from_dict(data: Mapping[str, Any]) -> CheetahReport:
+    """Rebuild a report from :func:`report_to_dict` form.
+
+    The rebuilt report renders byte-identically to the original and
+    exposes the same ``significant`` / ``all_instances`` /
+    ``best()`` surface; it is what cached profiled runs carry.
+    """
+    if not isinstance(data, Mapping):
+        raise SchemaError(
+            f"report payload must be a mapping, got {type(data).__name__}")
+    try:
+        return CheetahReport(
+            significant=[instance_from_dict(d) for d in data["significant"]],
+            all_instances=[instance_from_dict(d)
+                           for d in data["all_instances"]],
+            runtime=data["runtime_cycles"],
+            fork_join_ok=data["fork_join_model"],
+            aver_nofs_cycles=data["aver_nofs_cycles"],
+            serial_samples=data["serial_samples"],
+            total_samples=data["total_samples"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(f"malformed report payload: {exc!r}") from exc

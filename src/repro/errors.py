@@ -87,3 +87,17 @@ class ProfilerError(ReproError):
 
 class ObsError(ReproError):
     """The observability layer was driven through an illegal transition."""
+
+
+class SchemaError(ReproError):
+    """A serialized artifact carries an unknown or incompatible schema.
+
+    Raised when :meth:`repro.run.RunOutcome.from_dict` (or the result
+    store deserializing one of its entries) meets a payload whose
+    ``schema_version`` it does not understand, or whose shape does not
+    match the declared version.
+    """
+
+
+class ServiceError(ReproError):
+    """The run service (result store / job scheduler) was misused."""

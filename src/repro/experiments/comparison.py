@@ -18,6 +18,7 @@ from repro.baselines.predator import PredatorDetector
 from repro.baselines.sheriff import SheriffDetector
 from repro.experiments.runner import format_table
 from repro.run import run_workload
+from repro.service import cached_run
 from repro.workloads import get_workload
 
 APPLICATIONS = ("linear_regression", "streamcluster", "histogram",
@@ -70,10 +71,13 @@ def run(scale: float = 1.0, num_threads: int = 16,
     result = ComparisonResult()
     for name in applications:
         cls = get_workload(name)
-        native = run_workload(cls(num_threads=num_threads, scale=scale),
-                              jitter_seed=jitter_seed)
-        cheetah = run_workload(cls(num_threads=num_threads, scale=scale),
-                               jitter_seed=jitter_seed, with_cheetah=True)
+        # Native and profiled runs are pure functions of their spec and go
+        # through the cache; the Predator/Sheriff runs attach an observer
+        # (whose findings are read back out), so they always execute.
+        native = cached_run(cls, num_threads=num_threads, scale=scale,
+                            jitter_seed=jitter_seed)
+        cheetah = cached_run(cls, num_threads=num_threads, scale=scale,
+                             jitter_seed=jitter_seed, with_cheetah=True)
         assert cheetah.report is not None
         predator = PredatorDetector(
             min_invalidations=predator_min_invalidations)

@@ -9,9 +9,20 @@ This module mirrors the serial ``run()`` entry points of ``table1``,
 
 - ``jobs`` of ``None``/``0``/``1`` delegates to the serial ``run()``
   (byte-identical default path);
-- ``jobs > 1`` fans the cells over a ``ProcessPoolExecutor`` and merges
-  results **in submission order**, so the returned result object is
-  equal to the serial one regardless of completion order.
+- ``jobs > 1`` fans the cells over the
+  :class:`repro.service.Scheduler` and merges results **in submission
+  order**, so the returned result object is equal to the serial one
+  regardless of completion order.
+
+The scheduler adds resilience the bare executor of PR-2 lacked: a cell
+that keeps crashing (or exceeding the scheduler's per-job timeout) is
+retried with backoff and finally degrades to a structured
+:class:`repro.service.JobFailure` instead of killing the whole matrix —
+failed cells are dropped from the result's rows and collected on its
+``failures`` attribute. When an ambient :class:`repro.service.RunService`
+is active (``repro experiment`` pushes one), worker processes re-open the
+same result store, so cells are served from — and populate — the shared
+cache.
 
 Determinism: each cell derives all randomness from its arguments (the
 machine jitter seed and the PMU seed), never from process-global state,
@@ -26,8 +37,7 @@ through :func:`repro.workloads.get_workload`.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.experiments import comparison, figure4, scaling, table1
 from repro.experiments.runner import (
@@ -37,16 +47,49 @@ from repro.experiments.runner import (
 )
 from repro.run import DEFAULT_SEEDS
 from repro.pmu.sampler import PMUConfig
+from repro.service import (
+    JobFailure,
+    Scheduler,
+    ambient_cache_dir,
+    current_service,
+    open_worker_service,
+)
 from repro.workloads import FIGURE4_NAMES, get_workload
 
 #: Experiment names (as the CLI spells them) with a parallel runner.
 PARALLEL_EXPERIMENTS = ("table1", "figure4", "comparison", "scaling")
 
 
-def _map_cells(cell_fn, cells, jobs: int):
-    """Run ``cell_fn`` over ``cells`` in ``jobs`` processes, in order."""
-    with ProcessPoolExecutor(max_workers=jobs) as executor:
-        return list(executor.map(cell_fn, cells))
+def _map_cells(cell_fn, cells, jobs: int) -> List[Any]:
+    """Run ``cell_fn`` over ``cells`` via the scheduler, in cell order.
+
+    With an ambient run service, its scheduler (carrying the configured
+    timeout/retry policy and metrics registry) is used and every worker
+    process re-opens the shared result store; otherwise a plain
+    scheduler with default resilience runs the cells.
+    """
+    service = current_service()
+    initargs = (ambient_cache_dir(),)
+    if service is not None:
+        scheduler = service.make_scheduler(
+            jobs, initializer=open_worker_service, initargs=initargs)
+    else:
+        scheduler = Scheduler(jobs=jobs, initializer=open_worker_service,
+                              initargs=initargs)
+    return scheduler.map(cell_fn, cells)
+
+
+def _split_failures(outcomes: List[Any]) -> Tuple[List[Any], List[JobFailure]]:
+    """Partition scheduler output into (rows, failures), preserving order."""
+    rows = [o for o in outcomes if not isinstance(o, JobFailure)]
+    failures = [o for o in outcomes if isinstance(o, JobFailure)]
+    return rows, failures
+
+
+def _degraded(result, failures: List[JobFailure]):
+    """Attach ``failures`` to an experiment result (dataclass-eq neutral)."""
+    result.failures = failures
+    return result
 
 
 # -- table1 ------------------------------------------------------------------
@@ -77,7 +120,8 @@ def run_table1(scale: float = 1.0,
                           pmu_config=pmu_config)
     cells = [(name, threads, scale, tuple(seeds), pmu_config)
              for name in applications for threads in thread_counts]
-    return table1.Table1Result(rows=_map_cells(_table1_cell, cells, jobs))
+    rows, failures = _split_failures(_map_cells(_table1_cell, cells, jobs))
+    return _degraded(table1.Table1Result(rows=rows), failures)
 
 
 # -- figure4 -----------------------------------------------------------------
@@ -101,7 +145,8 @@ def run_figure4(scale: float = 1.0,
                            pmu_config=pmu_config)
     cells = [(name, scale, tuple(seeds), pmu_config)
              for name in (names or FIGURE4_NAMES)]
-    return figure4.Figure4Result(rows=_map_cells(_figure4_cell, cells, jobs))
+    rows, failures = _split_failures(_map_cells(_figure4_cell, cells, jobs))
+    return _degraded(figure4.Figure4Result(rows=rows), failures)
 
 
 # -- comparison --------------------------------------------------------------
@@ -129,8 +174,9 @@ def run_comparison(scale: float = 1.0, num_threads: int = 16,
             applications=applications)
     cells = [(name, scale, num_threads, jitter_seed,
               predator_min_invalidations) for name in applications]
-    return comparison.ComparisonResult(
-        rows=_map_cells(_comparison_cell, cells, jobs))
+    rows, failures = _split_failures(
+        _map_cells(_comparison_cell, cells, jobs))
+    return _degraded(comparison.ComparisonResult(rows=rows), failures)
 
 
 # -- scaling -----------------------------------------------------------------
@@ -151,8 +197,9 @@ def run_scaling(scale: float = 0.5,
         return scaling.run(scale=scale, thread_counts=thread_counts,
                            jitter_seed=jitter_seed)
     cells = [(scale, threads, jitter_seed) for threads in thread_counts]
-    return scaling.ScalingResult(
-        rows=_map_cells(_scaling_cell, cells, jobs))
+    rows, failures = _split_failures(
+        _map_cells(_scaling_cell, cells, jobs))
+    return _degraded(scaling.ScalingResult(rows=rows), failures)
 
 
 RUNNERS = {

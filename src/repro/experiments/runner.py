@@ -20,7 +20,7 @@ from typing import Any, List, Optional, Sequence
 from repro.core.profiler import CheetahConfig
 from repro.pmu.sampler import PMUConfig
 from repro.run import DEFAULT_SEEDS as _DEFAULT_SEEDS
-from repro.run import run_workload as _run_workload
+from repro.service import cached_run as _cached_run
 from repro.sim.params import MachineConfig
 
 # Old import path -> object now living in repro.run. Kept out of module
@@ -57,11 +57,11 @@ def measure_real_improvement(workload_cls, *, num_threads: int,
     """
     ratios = []
     for seed in seeds:
-        original = _run_workload(
-            workload_cls(num_threads=num_threads, scale=scale),
+        original = _cached_run(
+            workload_cls, num_threads=num_threads, scale=scale,
             jitter_seed=seed, machine_config=machine_config)
-        fixed = _run_workload(
-            workload_cls(num_threads=num_threads, scale=scale, fixed=True),
+        fixed = _cached_run(
+            workload_cls, num_threads=num_threads, scale=scale, fixed=True,
             jitter_seed=seed, machine_config=machine_config)
         ratios.append(original.runtime / fixed.runtime)
     return statistics.mean(ratios)
@@ -86,8 +86,8 @@ def measure_predicted_improvement(workload_cls, *, num_threads: int,
         # Vary only the sampling seed per run; replace() keeps every
         # other field (including any added later) from the base config.
         pmu = dataclasses.replace(base, seed=base.seed + index + 1)
-        outcome = _run_workload(
-            workload_cls(num_threads=num_threads, scale=scale),
+        outcome = _cached_run(
+            workload_cls, num_threads=num_threads, scale=scale,
             jitter_seed=seed, pmu_config=pmu, with_cheetah=True,
             cheetah_config=cheetah_config, machine_config=machine_config)
         assert outcome.report is not None
@@ -117,14 +117,13 @@ def measure_overhead(workload_cls, *, num_threads: Optional[int] = None,
     """
     ratios = []
     for seed in seeds:
-        kwargs = {"scale": scale}
-        if num_threads is not None:
-            kwargs["num_threads"] = num_threads
-        native = _run_workload(workload_cls(**kwargs), jitter_seed=seed,
+        native = _cached_run(workload_cls, num_threads=num_threads,
+                             scale=scale, jitter_seed=seed,
+                             machine_config=machine_config)
+        profiled = _cached_run(workload_cls, num_threads=num_threads,
+                               scale=scale, jitter_seed=seed,
+                               pmu_config=pmu_config, with_cheetah=True,
                                machine_config=machine_config)
-        profiled = _run_workload(workload_cls(**kwargs), jitter_seed=seed,
-                                 pmu_config=pmu_config, with_cheetah=True,
-                                 machine_config=machine_config)
         ratios.append(profiled.runtime / native.runtime)
     return statistics.mean(ratios)
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.experiments.runner import format_table
-from repro.run import run_workload
+from repro.service import cached_run
 from repro.workloads.phoenix import LinearRegression
 
 THREAD_COUNTS = (2, 4, 8, 16, 24, 32)
@@ -58,13 +58,12 @@ def run(scale: float = 0.5,
     """Regenerate the thread-scaling study."""
     result = ScalingResult()
     for threads in thread_counts:
-        unfixed = run_workload(
-            LinearRegression(num_threads=threads, scale=scale),
+        unfixed = cached_run(
+            LinearRegression, num_threads=threads, scale=scale,
             jitter_seed=jitter_seed)
-        fixed = run_workload(
-            LinearRegression(num_threads=threads, scale=scale,
-                             fixed=True),
-            jitter_seed=jitter_seed)
+        fixed = cached_run(
+            LinearRegression, num_threads=threads, scale=scale,
+            fixed=True, jitter_seed=jitter_seed)
         result.rows.append(ScalingRow(
             threads=threads,
             unfixed_runtime=unfixed.runtime,

@@ -14,10 +14,12 @@ and the PMU's sampling-jitter seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
+from repro.errors import SchemaError
 from repro.heap.allocator import CheetahAllocator
 from repro.obs import ObsConfig, Observability, current_default
 from repro.pmu.sampler import PMU, PMUConfig
@@ -29,6 +31,82 @@ from repro.workloads.base import Workload
 
 DEFAULT_SEEDS: Tuple[int, ...] = (11, 22, 33)
 
+#: Version of the serialized :class:`RunOutcome` JSON schema (see
+#: ``docs/api.md``). Bump whenever the dict shape produced by
+#: :meth:`RunOutcome.to_dict` changes incompatibly; the result store
+#: folds this number into its content hashes, so a bump naturally
+#: invalidates every cached entry instead of mis-decoding it.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ThreadSummary:
+    """Serializable per-thread statistics (the stable subset of
+    :class:`~repro.runtime.thread.SimThread`)."""
+
+    tid: int
+    name: str
+    core: int
+    start_clock: int
+    end_clock: Optional[int]
+    instructions: int
+    mem_accesses: int
+    mem_cycles: int
+    barrier_waits: int
+
+    @property
+    def runtime(self) -> int:
+        end = self.end_clock if self.end_clock is not None else self.start_clock
+        return end - self.start_clock
+
+    @classmethod
+    def from_thread(cls, thread: Any) -> "ThreadSummary":
+        return cls(tid=thread.tid, name=thread.name, core=thread.core,
+                   start_clock=thread.start_clock, end_clock=thread.end_clock,
+                   instructions=thread.instructions,
+                   mem_accesses=thread.mem_accesses,
+                   mem_cycles=thread.mem_cycles,
+                   barrier_waits=thread.barrier_waits)
+
+
+@dataclass
+class RunSummary:
+    """The serializable view of a :class:`~repro.sim.engine.RunResult`.
+
+    A live ``RunResult`` drags the whole simulation behind it (machine,
+    allocator, symbol table, suspended generators) — none of which can
+    round-trip through JSON. ``RunSummary`` keeps the stable, numeric
+    surface that every downstream consumer (experiments, CLI output,
+    benches) reads: runtimes, access totals, ground-truth invalidations
+    and per-thread statistics. Cached outcomes served by
+    :mod:`repro.service` carry one of these in :attr:`RunOutcome.result`.
+    """
+
+    runtime: int
+    steps: int
+    invalidations: int
+    threads: Dict[int, ThreadSummary] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.threads.values())
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(t.mem_accesses for t in self.threads.values())
+
+    def thread_runtime(self, tid: int) -> int:
+        return self.threads[tid].runtime
+
+
+def _jsonable(value: Any) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
 
 @dataclass
 class RunOutcome:
@@ -38,20 +116,151 @@ class RunOutcome:
     an ambient default pushed via :func:`repro.obs.push_default`), the
     finalized :class:`~repro.obs.Observability` rides along and
     :attr:`metrics` exposes its registry snapshot.
+
+    ``result`` is a live :class:`~repro.sim.engine.RunResult` for freshly
+    executed runs, or a :class:`RunSummary` when the outcome was
+    rehydrated from the serialized form (:meth:`from_dict` — the format
+    the :mod:`repro.service` result store persists).
     """
 
-    result: RunResult
+    result: Union[RunResult, RunSummary]
     report: Optional[CheetahReport] = None
     obs: Optional[Observability] = None
+    #: Metrics snapshot carried by a deserialized outcome (live outcomes
+    #: read the snapshot off ``obs`` instead).
+    cached_metrics: Optional[Dict[str, Any]] = None
 
     @property
     def runtime(self) -> int:
         return self.result.runtime
 
     @property
+    def invalidations(self) -> int:
+        """Ground-truth invalidation total (live or rehydrated)."""
+        result = self.result
+        if isinstance(result, RunSummary):
+            return result.invalidations
+        return result.machine.directory.total_invalidations()
+
+    @property
+    def from_cache(self) -> bool:
+        """True when this outcome was rehydrated from serialized form."""
+        return isinstance(self.result, RunSummary)
+
+    @property
     def metrics(self) -> Dict[str, Any]:
         """Metrics snapshot of the run (``{}`` when metrics were off)."""
-        return self.obs.metrics_snapshot() if self.obs is not None else {}
+        if self.obs is not None:
+            return self.obs.metrics_snapshot()
+        return dict(self.cached_metrics) if self.cached_metrics else {}
+
+    # -- versioned serialization (see docs/api.md) ---------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict form, tagged with :data:`SCHEMA_VERSION`.
+
+        The inverse of :meth:`from_dict`:
+        ``RunOutcome.from_dict(o.to_dict()).to_dict() == o.to_dict()``
+        for every outcome. Live simulation state (machine, allocator,
+        symbols) is summarized, not serialized; non-JSON metadata values
+        are dropped.
+        """
+        result = self.result
+        threads: Dict[int, ThreadSummary] = {}
+        if isinstance(result, RunSummary):
+            threads = result.threads
+            invalidations = result.invalidations
+            metadata = result.metadata
+        else:
+            threads = {tid: ThreadSummary.from_thread(t)
+                       for tid, t in result.threads.items()}
+            invalidations = result.machine.directory.total_invalidations()
+            metadata = result.metadata
+        report_dict = None
+        if self.report is not None:
+            from repro.core.export import report_to_dict
+            report_dict = report_to_dict(self.report)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "result": {
+                "runtime": result.runtime,
+                "steps": result.steps,
+                "invalidations": invalidations,
+                "total_accesses": result.total_accesses,
+                "total_instructions": result.total_instructions,
+                "threads": {
+                    str(tid): {
+                        "name": t.name,
+                        "core": t.core,
+                        "start_clock": t.start_clock,
+                        "end_clock": t.end_clock,
+                        "instructions": t.instructions,
+                        "mem_accesses": t.mem_accesses,
+                        "mem_cycles": t.mem_cycles,
+                        "barrier_waits": t.barrier_waits,
+                    }
+                    for tid, t in sorted(threads.items())
+                },
+                "metadata": {k: v for k, v in metadata.items()
+                             if _jsonable(v)},
+            },
+            "report": report_dict,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunOutcome":
+        """Rehydrate an outcome from :meth:`to_dict` form.
+
+        Raises :class:`~repro.errors.SchemaError` for payloads that are
+        not mappings, carry no ``schema_version``, or declare a version
+        this code does not understand.
+        """
+        if not isinstance(data, Mapping):
+            raise SchemaError(
+                f"RunOutcome payload must be a mapping, "
+                f"got {type(data).__name__}")
+        version = data.get("schema_version")
+        if version is None:
+            raise SchemaError("RunOutcome payload has no schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported RunOutcome schema_version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION}); "
+                "re-run without the cache or clear it with "
+                "'repro cache clear'")
+        try:
+            result_data = data["result"]
+            threads = {
+                int(tid): ThreadSummary(
+                    tid=int(tid),
+                    name=t["name"],
+                    core=t["core"],
+                    start_clock=t["start_clock"],
+                    end_clock=t["end_clock"],
+                    instructions=t["instructions"],
+                    mem_accesses=t["mem_accesses"],
+                    mem_cycles=t["mem_cycles"],
+                    barrier_waits=t["barrier_waits"],
+                )
+                for tid, t in result_data["threads"].items()
+            }
+            summary = RunSummary(
+                runtime=result_data["runtime"],
+                steps=result_data["steps"],
+                invalidations=result_data["invalidations"],
+                threads=threads,
+                metadata=dict(result_data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"malformed RunOutcome v{version} payload: {exc!r}") from exc
+        report = None
+        if data.get("report") is not None:
+            from repro.core.export import report_from_dict
+            report = report_from_dict(data["report"])
+        return cls(result=summary, report=report, obs=None,
+                   cached_metrics=dict(data.get("metrics") or {}) or None)
 
 
 def run_workload(workload: Workload, *,

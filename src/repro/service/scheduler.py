@@ -1,0 +1,311 @@
+"""Resilient job scheduler: dedupe, timeout, bounded retry, degradation.
+
+The PR-1 parallel matrix fanned cells over a bare
+``ProcessPoolExecutor``: one hung or crashed worker killed the whole
+matrix. This scheduler keeps the same ordered-merge semantics (results
+come back in submission order, so serial/parallel equivalence holds) and
+adds the production behaviors around it:
+
+- **dedupe** — identical pending jobs (same key) execute once and the
+  result fans out to every position that asked for it;
+- **per-job timeout** — a worker that exceeds ``timeout`` seconds is
+  abandoned (and the pool recycled so the zombie cannot starve later
+  rounds);
+- **bounded retry with exponential backoff + jitter** — failed jobs are
+  re-submitted up to ``retries`` times, sleeping
+  ``base * factor**(attempt-1)`` (capped) plus a deterministic jitter
+  drawn from ``jitter_seed``, so transient faults heal and thundering
+  herds de-synchronize;
+- **graceful degradation** — a job that exhausts its retries yields a
+  structured :class:`JobFailure` in its result slot instead of raising,
+  so one bad cell cannot take down the rest of the matrix.
+
+Determinism for tests: ``sleep`` and ``fault_hook`` are injectable, the
+backoff schedule is a pure function of the constructor arguments, and
+every delay actually requested is recorded in :attr:`Scheduler.delays`.
+
+Counters (``service_scheduler_*``) land in the PR-4
+:class:`~repro.obs.MetricsRegistry` passed at construction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.obs import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that exhausted its retries.
+
+    Appears in the scheduler's (and the service's) result list at the
+    failed job's position; callers filter with ``isinstance`` and decide
+    whether a partial matrix is acceptable.
+    """
+
+    key: str
+    kind: str  # "exception" | "timeout"
+    error: str
+    attempts: int
+
+    def render(self) -> str:
+        return (f"job {self.key}: {self.kind} after {self.attempts} "
+                f"attempt(s): {self.error}")
+
+
+def _run_job(fn: Callable[..., Any], cell: Any,
+             fault_hook: Optional[Callable[[str, int], None]],
+             key: str, attempt: int) -> Any:
+    """Top-level worker body (picklable for the spawn start method)."""
+    if fault_hook is not None:
+        fault_hook(key, attempt)
+    return fn(cell)
+
+
+class Scheduler:
+    """Maps a cell function over cells with dedupe/timeout/retry.
+
+    Args:
+        jobs: worker processes; ``None``/``0``/``1`` runs inline in this
+            process (no timeout enforcement — there is no worker to
+            abandon — but dedupe, retry and degradation still apply).
+        timeout: per-job seconds before an attempt counts as failed.
+        retries: additional attempts after the first (``retries=2`` means
+            at most 3 attempts).
+        backoff_base / backoff_factor / backoff_cap: exponential backoff
+            schedule in seconds.
+        jitter_frac: each delay is multiplied by ``1 + U(0, jitter_frac)``
+            with a :class:`random.Random` seeded at ``jitter_seed``.
+        sleep: injectable sleep (tests pass a recorder).
+        registry: metrics registry for the ``service_scheduler_*``
+            counters.
+        fault_hook: test-only ``(key, attempt) -> None`` invoked in the
+            worker before the cell function; raising simulates a fault.
+        initializer / initargs: forwarded to the process pool (used by
+            the service to open the result store in each worker).
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 backoff_cap: float = 2.0,
+                 jitter_frac: float = 0.25,
+                 jitter_seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 registry: Optional[MetricsRegistry] = None,
+                 fault_hook: Optional[Callable[[str, int], None]] = None,
+                 initializer: Optional[Callable[..., None]] = None,
+                 initargs: Tuple[Any, ...] = ()):
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ServiceError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep
+        self._fault_hook = fault_hook
+        self._initializer = initializer
+        self._initargs = initargs
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Every backoff delay actually requested, in order (test hook).
+        self.delays: List[float] = []
+        self._jobs_total = self.registry.counter(
+            "service_scheduler_jobs_total",
+            "Scheduled jobs by final outcome.", label="outcome")
+        self._retries_total = self.registry.counter(
+            "service_scheduler_retries_total",
+            "Job attempts re-submitted after a failure.")
+        self._timeouts_total = self.registry.counter(
+            "service_scheduler_timeouts_total",
+            "Job attempts abandoned for exceeding the per-job timeout.")
+        self._dedup_total = self.registry.counter(
+            "service_scheduler_deduped_total",
+            "Submitted cells coalesced onto an identical pending job.")
+
+    # -- backoff -------------------------------------------------------------
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), jitter included."""
+        base = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        base = min(base, self.backoff_cap)
+        return base * (1.0 + self._rng.uniform(0.0, self.jitter_frac))
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.backoff_delay(attempt)
+        self.delays.append(delay)
+        self._sleep(delay)
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], cells: Sequence[Any],
+            keys: Optional[Sequence[str]] = None) -> List[Any]:
+        """Run ``fn`` over ``cells``; result list is in cell order.
+
+        ``keys[i]`` identifies cell ``i`` for dedupe and failure
+        reporting; when omitted, hashable cells dedupe on their own
+        value (unhashable cells never dedupe). Each slot holds the
+        cell's result or a :class:`JobFailure`.
+        """
+        if keys is not None and len(keys) != len(cells):
+            raise ServiceError(
+                f"got {len(keys)} keys for {len(cells)} cells")
+        # Unique pending jobs, first occurrence wins; positions records
+        # every slot each unique job must fill.
+        unique: Dict[Any, int] = {}
+        order: List[Tuple[str, Any]] = []  # (key, cell) per unique job
+        positions: List[List[int]] = []
+        for index, cell in enumerate(cells):
+            if keys is not None:
+                dedupe_key: Any = keys[index]
+            else:
+                try:
+                    hash(cell)
+                    dedupe_key = cell
+                except TypeError:
+                    dedupe_key = ("__slot__", index)
+            if dedupe_key in unique:
+                positions[unique[dedupe_key]].append(index)
+                self._dedup_total.inc()
+                continue
+            unique[dedupe_key] = len(order)
+            label = (keys[index] if keys is not None
+                     else f"cell-{index}")
+            order.append((label, cell))
+            positions.append([index])
+
+        if not self.jobs or self.jobs <= 1:
+            outcomes = self._map_inline(fn, order)
+        else:
+            outcomes = self._map_pool(fn, order)
+
+        results: List[Any] = [None] * len(cells)
+        for job_index, outcome in enumerate(outcomes):
+            for slot in positions[job_index]:
+                results[slot] = outcome
+        return results
+
+    # -- inline execution ----------------------------------------------------
+
+    def _map_inline(self, fn, order: List[Tuple[str, Any]]) -> List[Any]:
+        outcomes = []
+        for key, cell in order:
+            outcomes.append(self._run_inline(fn, key, cell))
+        return outcomes
+
+    def _run_inline(self, fn, key: str, cell: Any) -> Any:
+        last_error = ""
+        attempts = 0
+        for attempt in range(1, self.retries + 2):
+            attempts = attempt
+            try:
+                result = _run_job(fn, cell, self._fault_hook, key, attempt)
+            except Exception as exc:
+                last_error = repr(exc)
+                if attempt <= self.retries:
+                    self._retries_total.inc()
+                    self._backoff(attempt)
+                continue
+            self._jobs_total.inc(label_value="completed")
+            return result
+        self._jobs_total.inc(label_value="failed")
+        return JobFailure(key=key, kind="exception", error=last_error,
+                          attempts=attempts)
+
+    # -- pool execution ------------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs,
+                                   initializer=self._initializer,
+                                   initargs=self._initargs)
+
+    def _map_pool(self, fn, order: List[Tuple[str, Any]]) -> List[Any]:
+        pending = list(range(len(order)))  # job indexes still unresolved
+        outcomes: List[Any] = [None] * len(order)
+        attempts = [0] * len(order)
+        last_error = [""] * len(order)
+        last_kind = ["exception"] * len(order)
+        pool = self._make_pool()
+        try:
+            round_no = 0
+            while pending:
+                round_no += 1
+                submitted = []
+                for job_index in pending:
+                    key, cell = order[job_index]
+                    attempts[job_index] += 1
+                    future = pool.submit(_run_job, fn, cell,
+                                         self._fault_hook, key,
+                                         attempts[job_index])
+                    submitted.append((job_index, future, time.monotonic()))
+                failed: List[int] = []
+                timed_out = False
+                for job_index, future, started in submitted:
+                    try:
+                        if self.timeout is None:
+                            result = future.result()
+                        else:
+                            remaining = max(
+                                0.0, self.timeout
+                                - (time.monotonic() - started))
+                            result = future.result(timeout=remaining)
+                    except FutureTimeout:
+                        future.cancel()
+                        timed_out = True
+                        self._timeouts_total.inc()
+                        last_error[job_index] = (
+                            f"timed out after {self.timeout}s")
+                        last_kind[job_index] = "timeout"
+                        failed.append(job_index)
+                    except BrokenProcessPool as exc:
+                        # The pool died under us (worker killed); rebuild
+                        # it and count the job as a retryable failure.
+                        timed_out = True
+                        last_error[job_index] = repr(exc)
+                        last_kind[job_index] = "exception"
+                        failed.append(job_index)
+                    except Exception as exc:
+                        last_error[job_index] = repr(exc)
+                        last_kind[job_index] = "exception"
+                        failed.append(job_index)
+                    else:
+                        outcomes[job_index] = result
+                        self._jobs_total.inc(label_value="completed")
+                if timed_out:
+                    # Abandoned futures may still be running inside their
+                    # workers; recycle the pool so zombies cannot starve
+                    # subsequent rounds.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._make_pool()
+                still_pending = []
+                for job_index in failed:
+                    if attempts[job_index] <= self.retries:
+                        self._retries_total.inc()
+                        still_pending.append(job_index)
+                    else:
+                        key, _ = order[job_index]
+                        outcomes[job_index] = JobFailure(
+                            key=key, kind=last_kind[job_index],
+                            error=last_error[job_index],
+                            attempts=attempts[job_index])
+                        self._jobs_total.inc(label_value="failed")
+                pending = still_pending
+                if pending:
+                    self._backoff(round_no)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes

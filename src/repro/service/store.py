@@ -1,0 +1,280 @@
+"""Crash-safe, content-addressed on-disk result store.
+
+Layout (under the store root, see ``docs/service.md``)::
+
+    <root>/v1/objects/<key[:2]>/<key>.json   one RunOutcome per entry
+    <root>/v1/quarantine/                    corrupt / partial entries
+    <root>/v1/tmp/                           in-flight writes
+
+Entries are keyed by the :meth:`repro.service.spec.RunSpec.key` content
+hash, so the store never needs an index: presence of the final file *is*
+the commit. Writes go write-tmp-then-``os.replace`` — readers can only
+ever observe a complete entry or no entry, never a torn one. A worker
+killed mid-write leaves a file in ``tmp/``; sweeps (on open, ``gc`` and
+``stats``) move such leftovers into ``quarantine/`` instead of deleting
+them, so operators can inspect what a crash interrupted.
+
+A corrupt final entry (truncated by the filesystem, hand-edited, or
+written by an incompatible schema version) is also quarantined on read
+instead of raising: the service degrades to a cache miss and re-runs the
+simulation.
+
+Counters (``service_cache_*``) are registered in the PR-4
+:class:`~repro.obs.MetricsRegistry` passed at construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import SchemaError, ServiceError
+from repro.obs import MetricsRegistry
+from repro.run import RunOutcome
+
+_KEY_CHARS = set("0123456789abcdef")
+
+#: Stray tmp files younger than this (seconds) are assumed to belong to a
+#: live concurrent writer and are left alone by background sweeps;
+#: explicit ``gc()`` quarantines them regardless of age.
+TMP_GRACE_SECONDS = 300.0
+
+
+def _check_key(key: str) -> str:
+    if not (isinstance(key, str) and len(key) == 64
+            and set(key) <= _KEY_CHARS):
+        raise ServiceError(
+            f"store keys are 64-char SHA-256 hex digests, got {key!r}")
+    return key
+
+
+class ResultStore:
+    """Content-addressed RunOutcome store with atomic commits.
+
+    Args:
+        root: store directory (created on demand).
+        registry: metrics registry the ``service_cache_*`` counters are
+            registered in; a private one is created when omitted.
+        write_hook: test-only fault injection point, invoked after the
+            tmp file is fully written but *before* the atomic rename —
+            raising from it simulates a worker dying mid-commit.
+    """
+
+    FORMAT_DIR = "v1"
+
+    def __init__(self, root, registry: Optional[MetricsRegistry] = None,
+                 write_hook: Optional[Callable[[str, Path], None]] = None):
+        self.root = Path(root)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._write_hook = write_hook
+        base = self.root / self.FORMAT_DIR
+        self._objects = base / "objects"
+        self._quarantine = base / "quarantine"
+        self._tmp = base / "tmp"
+        self._hits = self.registry.counter(
+            "service_cache_hits_total",
+            "Result-store lookups served from disk.")
+        self._misses = self.registry.counter(
+            "service_cache_misses_total",
+            "Result-store lookups that found no entry.")
+        self._evictions = self.registry.counter(
+            "service_cache_evictions_total",
+            "Entries removed by gc() or clear().")
+        self._quarantined = self.registry.counter(
+            "service_cache_quarantined_total",
+            "Corrupt or partial entries moved to quarantine.")
+        self._puts = self.registry.counter(
+            "service_cache_puts_total",
+            "Entries committed to the store.")
+        self._sweep_tmp(max_age=TMP_GRACE_SECONDS)
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        key = _check_key(key)
+        return self._objects / key[:2] / f"{key}.json"
+
+    def _ensure_dirs(self) -> None:
+        for path in (self._objects, self._quarantine, self._tmp):
+            path.mkdir(parents=True, exist_ok=True)
+
+    # -- read / write --------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[RunOutcome]:
+        """The cached outcome for ``key``, or None (counted as a miss).
+
+        A present-but-undecodable entry is quarantined and reported as a
+        miss — the store never raises on corrupt data and never exposes
+        a partial entry.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("key") != key:
+                raise SchemaError(
+                    f"entry {path.name} does not match its key")
+            outcome = RunOutcome.from_dict(payload["outcome"])
+        except FileNotFoundError:
+            self._misses.inc()
+            return None
+        except (OSError, ValueError, KeyError, AttributeError,
+                SchemaError) as exc:
+            self._quarantine_entry(path, reason=repr(exc))
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return outcome
+
+    def put(self, key: str, outcome: RunOutcome) -> Path:
+        """Atomically commit ``outcome`` under ``key``.
+
+        The payload is fully written and flushed to a private file in
+        ``tmp/`` and then ``os.replace``d into place, so a concurrent
+        reader sees either the previous state or the complete new entry.
+        """
+        path = self.path_for(key)
+        self._ensure_dirs()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "outcome": outcome.to_dict()}
+        tmp_path = self._tmp / f"{key}.{os.getpid()}.{id(outcome):x}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._write_hook is not None:
+            self._write_hook(key, tmp_path)
+        os.replace(tmp_path, path)
+        self._puts.inc()
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        if not self._objects.exists():
+            return
+        for bucket in sorted(self._objects.iterdir()):
+            if bucket.is_dir():
+                for entry in sorted(bucket.glob("*.json")):
+                    yield entry
+
+    def _quarantine_entry(self, path: Path, reason: str = "") -> None:
+        self._ensure_dirs()
+        target = self._quarantine / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self._quarantine / f"{path.name}.{suffix}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:  # already gone (concurrent sweep)
+            return
+        if reason:
+            note = target.with_suffix(target.suffix + ".reason")
+            try:
+                note.write_text(reason + "\n", encoding="utf-8")
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._quarantined.inc()
+
+    def _sweep_tmp(self, max_age: Optional[float] = None) -> int:
+        """Quarantine leftover tmp files (crashed mid-write commits)."""
+        if not self._tmp.exists():
+            return 0
+        now = time.time()
+        swept = 0
+        for stray in sorted(self._tmp.iterdir()):
+            if not stray.is_file():
+                continue
+            if max_age is not None:
+                try:
+                    age = now - stray.stat().st_mtime
+                except OSError:
+                    continue
+                if age < max_age:
+                    continue
+            self._quarantine_entry(stray, reason="interrupted write (tmp "
+                                                 "leftover)")
+            swept += 1
+        return swept
+
+    def keys(self) -> List[str]:
+        return [entry.stem for entry in self._entries()]
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry counts, sizes and the session's hit/miss counters."""
+        entries = list(self._entries())
+        size = 0
+        for entry in entries:
+            try:
+                size += entry.stat().st_size
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        quarantined_files = (len(list(self._quarantine.glob("*.json*")))
+                             if self._quarantine.exists() else 0)
+        return {
+            "root": str(self.root),
+            "format": self.FORMAT_DIR,
+            "entries": len(entries),
+            "bytes": size,
+            "quarantined_files": quarantined_files,
+            "hits": self._hits.value(),
+            "misses": self._misses.value(),
+            "evictions": self._evictions.value(),
+            "quarantined": self._quarantined.value(),
+            "puts": self._puts.value(),
+        }
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_age_seconds: Optional[float] = None) -> Dict[str, int]:
+        """Evict entries beyond the given bounds; quarantine stray tmp files.
+
+        Entries are aged by file mtime; when ``max_entries`` trims, the
+        oldest entries go first. Returns counts of what happened.
+        """
+        swept = self._sweep_tmp(max_age=None)
+        entries = []
+        now = time.time()
+        for entry in self._entries():
+            try:
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, entry))
+        entries.sort()
+        evict: List[Path] = []
+        if max_age_seconds is not None:
+            evict.extend(e for m, e in entries if now - m > max_age_seconds)
+        if max_entries is not None and len(entries) > max_entries:
+            keep_from = len(entries) - max_entries
+            evict.extend(e for _, e in entries[:keep_from])
+        evicted = 0
+        for entry in dict.fromkeys(evict):
+            try:
+                entry.unlink()
+                evicted += 1
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        if evicted:
+            self._evictions.inc(evicted)
+        return {"evicted": evicted, "tmp_quarantined": swept,
+                "remaining": len(entries) - evicted}
+
+    def clear(self) -> int:
+        """Remove every entry (quarantine is left untouched)."""
+        removed = 0
+        for entry in list(self._entries()):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        if removed:
+            self._evictions.inc(removed)
+        return removed

@@ -1,0 +1,91 @@
+"""Pins the frozen v1 public surface of the ``repro`` package.
+
+These tests are the API contract: a change that adds to, removes from,
+or renames anything in ``repro.__all__`` must bump ``__api_version__``
+and edit the expected set here *deliberately*. Everything outside the
+surface is reachable only through its defining submodule (or, for the
+pre-v1 names, through a DeprecationWarning shim).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+
+#: The frozen v1 surface, verbatim. Do not edit casually — this list is
+#: the compatibility promise pinned by test_surface_is_exactly_v1.
+V1_SURFACE = {
+    # the front door and the canonical runner
+    "Session", "run_workload", "RunOutcome", "RunSummary", "DEFAULT_SEEDS",
+    # config dataclasses
+    "MachineConfig", "LatencyModel", "PMUConfig", "DetectorConfig",
+    "CheetahConfig", "ObsConfig",
+    # reporting and errors
+    "CheetahReport", "ReproError",
+    # the run service
+    "RunService", "RunSpec", "ResultStore", "Scheduler", "JobFailure",
+    "cached_run", "default_cache_dir", "using_service",
+    # metadata
+    "__version__", "__api_version__",
+}
+
+#: Pre-v1 names that still import, but only through the deprecation shim.
+DEPRECATED_NAMES = (
+    "profile", "run_plain", "Engine", "RunResult", "PMU",
+    "CheetahProfiler", "SymbolTable", "Observability", "CheetahAllocator",
+)
+
+
+class TestFrozenSurface:
+    def test_api_version_is_one(self):
+        assert repro.__api_version__ == 1
+
+    def test_surface_is_exactly_v1(self):
+        assert set(repro.__all__) == V1_SURFACE
+
+    def test_every_name_resolves_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in sorted(V1_SURFACE):
+                assert getattr(repro, name) is not None
+
+    def test_no_deprecated_name_in_surface(self):
+        assert not set(DEPRECATED_NAMES) & set(repro.__all__)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_an_api
+
+    def test_dir_lists_surface_and_shims(self):
+        listing = dir(repro)
+        for name in V1_SURFACE | set(DEPRECATED_NAMES):
+            assert name in listing
+
+
+class TestDeprecatedShims:
+    @pytest.mark.parametrize("name", DEPRECATED_NAMES)
+    def test_shim_warns_and_resolves(self, name):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(repro, name)
+        assert value is not None
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_shim_resolves_to_real_object(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            from repro.sim.engine import Engine
+            assert repro.Engine is Engine
+            from repro.obs import Observability
+            assert repro.Observability is Observability
+
+    def test_profile_shim_still_works(self):
+        from repro.workloads.micro import ArrayIncrement
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result, report = repro.profile(
+                ArrayIncrement(num_threads=2, scale=0.1))
+        assert result.runtime > 0
+        assert report is not None

@@ -1,0 +1,77 @@
+"""Versioned RunOutcome JSON schema: round-trip and version gating."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.run import (
+    SCHEMA_VERSION,
+    RunOutcome,
+    RunSummary,
+    run_workload,
+)
+from repro.workloads.micro import ArrayIncrement
+
+
+def _outcome(with_cheetah=False):
+    return run_workload(ArrayIncrement(num_threads=2, scale=0.1),
+                        jitter_seed=7, with_cheetah=with_cheetah)
+
+
+class TestRoundTrip:
+    def test_schema_version_stamped(self):
+        data = _outcome().to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_dict_is_json_clean(self):
+        text = json.dumps(_outcome(with_cheetah=True).to_dict(),
+                          sort_keys=True, allow_nan=False)
+        assert json.loads(text)
+
+    def test_round_trip_is_byte_stable(self):
+        original = _outcome(with_cheetah=True)
+        data = original.to_dict()
+        rebuilt = RunOutcome.from_dict(data)
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) \
+            == json.dumps(data, sort_keys=True)
+
+    def test_rehydrated_summary_matches_live_result(self):
+        original = _outcome()
+        rebuilt = RunOutcome.from_dict(original.to_dict())
+        assert isinstance(rebuilt.result, RunSummary)
+        assert rebuilt.runtime == original.runtime
+        assert rebuilt.invalidations == original.invalidations
+        assert rebuilt.result.total_accesses \
+            == original.result.total_accesses
+        assert rebuilt.from_cache
+
+    def test_report_renders_identically(self):
+        original = _outcome(with_cheetah=True)
+        rebuilt = RunOutcome.from_dict(original.to_dict())
+        assert rebuilt.report is not None
+        assert rebuilt.report.render() == original.report.render()
+
+
+class TestVersionGating:
+    def test_unknown_version_rejected(self):
+        data = _outcome().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema"):
+            RunOutcome.from_dict(data)
+
+    def test_missing_version_rejected(self):
+        data = _outcome().to_dict()
+        del data["schema_version"]
+        with pytest.raises(SchemaError):
+            RunOutcome.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            RunOutcome.from_dict("not a dict")
+
+    def test_malformed_payload_rejected(self):
+        data = _outcome().to_dict()
+        del data["result"]
+        with pytest.raises(SchemaError):
+            RunOutcome.from_dict(data)

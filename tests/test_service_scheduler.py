@@ -1,0 +1,152 @@
+"""Deterministic tests for the resilient job scheduler.
+
+Faults are injected through the scheduler's ``fault_hook`` (runs in the
+worker before the cell function; raising simulates a crash) and time is
+controlled by an injectable ``sleep``, so retry/backoff behavior is
+asserted exactly — no real waiting, no flaky timing.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobFailure, Scheduler
+
+
+def _square(cell):
+    return cell * cell
+
+
+def _sleep_forever(cell):
+    time.sleep(60)
+    return cell
+
+
+class _FailTimes:
+    """Picklable fault hook failing the first ``n`` attempts per key."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def __call__(self, key, attempt):
+        if attempt <= self.n:
+            raise RuntimeError(f"injected fault on attempt {attempt}")
+
+
+class TestInline:
+    def test_maps_in_order(self):
+        recorded = []
+        sched = Scheduler(jobs=1, sleep=recorded.append)
+        assert sched.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert recorded == []
+
+    def test_dedupes_identical_cells(self):
+        calls = []
+        sched = Scheduler(jobs=1)
+
+        def fn(cell):
+            calls.append(cell)
+            return cell * 10
+
+        assert sched.map(fn, [5, 5, 7, 5]) == [50, 50, 70, 50]
+        assert calls == [5, 7]
+        snapshot = sched.registry.snapshot()["counters"]
+        assert snapshot["service_scheduler_deduped_total"] == 2
+
+    def test_explicit_keys_control_dedupe(self):
+        calls = []
+        sched = Scheduler(jobs=1)
+
+        def fn(cell):
+            calls.append(cell)
+            return cell
+
+        out = sched.map(fn, [1, 2], keys=["same", "same"])
+        assert out == [1, 1]  # first occurrence wins, result fans out
+        assert calls == [1]
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(ServiceError, match="keys"):
+            Scheduler(jobs=1).map(_square, [1, 2], keys=["a"])
+
+    def test_transient_fault_heals_with_backoff(self):
+        slept = []
+        sched = Scheduler(jobs=1, retries=2, backoff_base=0.05,
+                          backoff_factor=2.0, jitter_frac=0.0,
+                          sleep=slept.append, fault_hook=_FailTimes(2))
+        assert sched.map(_square, [3]) == [9]
+        # Two retries, exponential schedule, no jitter: 0.05 then 0.1.
+        assert slept == pytest.approx([0.05, 0.1])
+        assert sched.delays == slept
+        counters = sched.registry.snapshot()["counters"]
+        assert counters["service_scheduler_retries_total"] == 2
+
+    def test_backoff_is_capped_and_jittered_deterministically(self):
+        a = Scheduler(jobs=1, backoff_base=1.0, backoff_factor=10.0,
+                      backoff_cap=2.0, jitter_frac=0.5, jitter_seed=42)
+        b = Scheduler(jobs=1, backoff_base=1.0, backoff_factor=10.0,
+                      backoff_cap=2.0, jitter_frac=0.5, jitter_seed=42)
+        delays_a = [a.backoff_delay(n) for n in (1, 2, 3)]
+        delays_b = [b.backoff_delay(n) for n in (1, 2, 3)]
+        assert delays_a == delays_b  # same seed, same schedule
+        assert all(d <= 2.0 * 1.5 for d in delays_a)  # cap * max jitter
+        assert delays_a[1] >= 2.0  # cap reached by attempt 2
+
+    def test_exhausted_retries_degrade_to_job_failure(self):
+        sched = Scheduler(jobs=1, retries=1, sleep=lambda _: None,
+                          fault_hook=_FailTimes(99))
+        out = sched.map(_square, [3, 4], keys=["bad-3", "bad-4"])
+        assert all(isinstance(o, JobFailure) for o in out)
+        assert out[0].key == "bad-3"
+        assert out[0].kind == "exception"
+        assert out[0].attempts == 2
+        assert "injected fault" in out[0].error
+        assert "bad-3" in out[0].render()
+        counters = sched.registry.snapshot()["counters"]
+        assert counters["service_scheduler_jobs_total"]["failed"] == 2
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ServiceError):
+            Scheduler(retries=-1)
+        with pytest.raises(ServiceError):
+            Scheduler(timeout=0)
+
+
+class TestPool:
+    def test_pool_maps_in_order(self):
+        sched = Scheduler(jobs=2)
+        assert sched.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_pool_fault_retries_then_succeeds(self):
+        # The hook travels to the worker by pickle, so its state resets
+        # per attempt dispatch; attempt numbers come from the parent.
+        sched = Scheduler(jobs=2, retries=2, sleep=lambda _: None,
+                          fault_hook=_FailTimes(1))
+        assert sched.map(_square, [5, 6]) == [25, 36]
+
+    def test_pool_timeout_degrades_to_job_failure(self):
+        sched = Scheduler(jobs=2, timeout=0.5, retries=0,
+                          sleep=lambda _: None)
+        out = sched.map(_sleep_forever, [1], keys=["hung"])
+        assert isinstance(out[0], JobFailure)
+        assert out[0].kind == "timeout"
+        assert "0.5" in out[0].error
+        counters = sched.registry.snapshot()["counters"]
+        assert counters["service_scheduler_timeouts_total"] == 1
+
+    def test_pool_survives_timeout_and_completes_rest(self):
+        # One hung cell must not take down the others (pool recycled).
+        sched = Scheduler(jobs=2, timeout=0.5, retries=0,
+                          sleep=lambda _: None)
+        cells = [1, "hang", 3]
+
+        out = sched.map(_hang_on_marker, cells)
+        assert out[0] == 1 and out[2] == 3
+        assert isinstance(out[1], JobFailure)
+
+
+def _hang_on_marker(cell):
+    if cell == "hang":
+        time.sleep(60)
+    return cell

@@ -1,0 +1,142 @@
+"""Crash-safety and maintenance behavior of the on-disk result store."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.run import RunOutcome, run_workload
+from repro.service import ResultStore, RunSpec
+from repro.workloads.micro import ArrayIncrement
+
+SPEC = RunSpec(workload="array_increment", threads=2, scale=0.1,
+               jitter_seed=7)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_workload(ArrayIncrement(num_threads=2, scale=0.1),
+                        jitter_seed=7)
+
+
+class TestRoundTrip:
+    def test_get_on_empty_store_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(SPEC.key()) is None
+        assert store.stats()["misses"] == 1
+
+    def test_put_then_get(self, tmp_path, outcome):
+        store = ResultStore(tmp_path)
+        key = SPEC.key()
+        store.put(key, outcome)
+        cached = store.get(key)
+        assert isinstance(cached, RunOutcome)
+        assert cached.runtime == outcome.runtime
+        assert cached.from_cache
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+
+    def test_get_survives_across_store_instances(self, tmp_path, outcome):
+        key = SPEC.key()
+        ResultStore(tmp_path).put(key, outcome)
+        again = ResultStore(tmp_path)
+        assert again.get(key).runtime == outcome.runtime
+
+    def test_bad_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ServiceError, match="64-char"):
+            store.get("../../etc/passwd")
+
+
+class TestCrashSafety:
+    def test_crash_before_rename_exposes_no_entry(self, tmp_path, outcome):
+        """A worker dying between tmp write and rename leaves no entry."""
+        def die(key, tmp_file):
+            raise RuntimeError("killed mid-commit")
+
+        store = ResultStore(tmp_path, write_hook=die)
+        key = SPEC.key()
+        with pytest.raises(RuntimeError):
+            store.put(key, outcome)
+        clean = ResultStore(tmp_path)
+        assert clean.get(key) is None
+        assert clean.stats()["entries"] == 0
+
+    def test_gc_quarantines_tmp_leftover(self, tmp_path, outcome):
+        def die(key, tmp_file):
+            raise RuntimeError("killed mid-commit")
+
+        store = ResultStore(tmp_path, write_hook=die)
+        with pytest.raises(RuntimeError):
+            store.put(SPEC.key(), outcome)
+        result = ResultStore(tmp_path).gc()
+        assert result["tmp_quarantined"] == 1
+        quarantine = tmp_path / "v1" / "quarantine"
+        files = list(quarantine.glob("*.tmp"))
+        assert len(files) == 1
+        reason = files[0].with_suffix(files[0].suffix + ".reason")
+        assert "interrupted write" in reason.read_text()
+
+    def test_corrupt_entry_quarantined_as_miss(self, tmp_path, outcome):
+        store = ResultStore(tmp_path)
+        key = SPEC.key()
+        path = store.put(key, outcome)
+        path.write_text("{ truncated", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats()["entries"] == 0
+        assert store.stats()["quarantined"] == 1
+        assert list((tmp_path / "v1" / "quarantine").glob("*.json"))
+
+    def test_key_mismatch_quarantined(self, tmp_path, outcome):
+        store = ResultStore(tmp_path)
+        key = SPEC.key()
+        path = store.put(key, outcome)
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_incompatible_schema_entry_degrades_to_miss(self, tmp_path,
+                                                        outcome):
+        store = ResultStore(tmp_path)
+        key = SPEC.key()
+        path = store.put(key, outcome)
+        payload = json.loads(path.read_text())
+        payload["outcome"]["schema_version"] = 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats()["quarantined"] == 1
+
+
+class TestMaintenance:
+    def test_gc_max_entries_keeps_newest(self, tmp_path, outcome):
+        import os
+        store = ResultStore(tmp_path)
+        keys = []
+        for jitter in (1, 2, 3):
+            spec = RunSpec(workload="array_increment", threads=2,
+                           scale=0.1, jitter_seed=jitter)
+            keys.append(spec.key())
+            path = store.put(spec.key(), outcome)
+            # Deterministic mtime ordering regardless of fs resolution.
+            os.utime(path, (jitter, jitter))
+        result = store.gc(max_entries=1)
+        assert result["evicted"] == 2 and result["remaining"] == 1
+        assert store.get(keys[-1]) is not None
+        assert store.get(keys[0]) is None
+
+    def test_gc_max_age_evicts_old(self, tmp_path, outcome):
+        import os
+        store = ResultStore(tmp_path)
+        path = store.put(SPEC.key(), outcome)
+        os.utime(path, (1, 1))  # epoch-old
+        result = store.gc(max_age_seconds=3600)
+        assert result["evicted"] == 1
+        assert store.stats()["evictions"] == 1
+
+    def test_clear_removes_everything(self, tmp_path, outcome):
+        store = ResultStore(tmp_path)
+        store.put(SPEC.key(), outcome)
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
