@@ -29,34 +29,48 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import scaling
 from repro.run import run_workload
+from repro.sim import kernel as vector_kernel
+from repro.sim.params import MachineConfig
 from repro.workloads import get_workload
 
 BENCH_FILE = "BENCH_engine.json"
 
 #: (key, workload, threads, scale, profiled) throughput scenarios.
+#: The ``*/serial`` scenarios run single-threaded: with one runnable
+#: thread the scheduler grants unbounded quanta, so they are the purest
+#: measure of burst-kernel throughput (the vector kernel batches longest
+#: there). ``synthetic/serial`` degenerates to a single enormous
+#: private-line burst — the long-burst showcase.
 THROUGHPUT_SCENARIOS = (
     ("linear_regression/native", "linear_regression", 8, 1.0, False),
     ("linear_regression/cheetah", "linear_regression", 8, 1.0, True),
     ("histogram/native", "histogram", 8, 1.0, False),
+    ("histogram/serial", "histogram", 1, 1.0, False),
+    ("synthetic/serial", "synthetic", 1, 200.0, False),
 )
 
 SEED = 11
 
 
 def _measure_throughput(name: str, threads: int, scale: float,
-                        profiled: bool, repeats: int) -> Dict[str, float]:
+                        profiled: bool, repeats: int,
+                        kernel: Optional[str] = None) -> Dict[str, object]:
     cls = get_workload(name)
+    config = MachineConfig(kernel=kernel) if kernel else None
     best_rate = 0.0
     accesses = 0
+    variant = "fused"
     for _ in range(repeats):
         workload = cls(num_threads=threads, scale=scale)
         start = time.perf_counter()
-        outcome = run_workload(workload, jitter_seed=SEED,
-                               with_cheetah=profiled)
+        outcome = run_workload(workload, machine_config=config,
+                               jitter_seed=SEED, with_cheetah=profiled)
         elapsed = time.perf_counter() - start
         accesses = outcome.result.total_accesses
+        variant = outcome.result.metadata.get("kernel", "fused")
         best_rate = max(best_rate, accesses / elapsed)
-    return {"accesses": accesses, "accesses_per_sec": round(best_rate, 1)}
+    return {"accesses": accesses, "accesses_per_sec": round(best_rate, 1),
+            "kernel": variant}
 
 
 def _measure_wall(fn: Callable[[], object], repeats: int) -> float:
@@ -68,10 +82,12 @@ def _measure_wall(fn: Callable[[], object], repeats: int) -> float:
     return round(best, 4)
 
 
-def run_bench(repeats: int = 3) -> Dict[str, object]:
+def run_bench(repeats: int = 3,
+              kernel: Optional[str] = None) -> Dict[str, object]:
     """Run every benchmark once; returns the entry dict (no file I/O)."""
     throughput = {
-        key: _measure_throughput(name, threads, scale, profiled, repeats)
+        key: _measure_throughput(name, threads, scale, profiled, repeats,
+                                 kernel=kernel)
         for key, name, threads, scale, profiled in THROUGHPUT_SCENARIOS
     }
     experiments = {
@@ -83,9 +99,32 @@ def run_bench(repeats: int = 3) -> Dict[str, object]:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "repeats": repeats,
+        "kernel": kernel or "auto",
+        "numpy": vector_kernel.HAVE_NUMPY,
         "throughput": throughput,
         "experiments": experiments,
     }
+
+
+def run_compare(kernels: Sequence[str], repeats: int = 3) -> str:
+    """Measure every throughput scenario under each kernel; returns a
+    speedup table (first kernel is the denominator)."""
+    header = f"{'scenario':<28}" + "".join(
+        f"{k + ' acc/s':>16}" for k in kernels)
+    if len(kernels) > 1:
+        header += f"{'speedup':>10}"
+    lines = [header]
+    for key, name, threads, scale, profiled in THROUGHPUT_SCENARIOS:
+        rates = [
+            _measure_throughput(name, threads, scale, profiled, repeats,
+                                kernel=k)["accesses_per_sec"]
+            for k in kernels
+        ]
+        row = f"{key:<28}" + "".join(f"{r:>16,.0f}" for r in rates)
+        if len(kernels) > 1:
+            row += f"{rates[-1] / rates[0]:>9.2f}x"
+        lines.append(row)
+    return "\n".join(lines)
 
 
 def load_entries(path: Path) -> List[Dict[str, object]]:
@@ -143,11 +182,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"{BENCH_FILE}")
     parser.add_argument("--path", type=Path, default=None,
                         help=f"override the {BENCH_FILE} location")
+    parser.add_argument("--kernel", choices=("fused", "vector", "auto"),
+                        default=None,
+                        help="burst kernel to bench (default: auto)")
+    parser.add_argument("--compare", metavar="K1,K2", default=None,
+                        help="measure each listed kernel (comma-separated, "
+                             "e.g. fused,vector) and print a speedup "
+                             f"table; does not touch {BENCH_FILE}")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        kernels = [k.strip() for k in args.compare.split(",") if k.strip()]
+        bad = [k for k in kernels if k not in ("fused", "vector", "auto")]
+        if bad or not kernels:
+            parser.error(f"--compare: unknown kernel(s) {bad or args.compare}")
+        print(run_compare(kernels, repeats=args.repeats))
+        return 0
 
     path = args.path or Path(__file__).resolve().parents[2] / BENCH_FILE
     entries = load_entries(path)
-    entry = run_bench(repeats=args.repeats)
+    entry = run_bench(repeats=args.repeats, kernel=args.kernel)
     entry["label"] = args.label
     print(render_comparison(entries, entry))
     if not args.no_update:

@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache line size in bytes (default: machine's)")
         p.add_argument("--cores", type=int, default=None,
                        help="core count (default: machine's)")
+        p.add_argument("--kernel", choices=("fused", "vector", "auto"),
+                       default=None,
+                       help="burst kernel: 'fused' scalar loop, 'vector' "
+                            "array-batched spans, or 'auto' (default) — "
+                            "vector when no observer/sanitizer needs "
+                            "per-access visibility, else fused")
 
     def add_obs_flags(p):
         p.add_argument("--trace", metavar="FILE", default=None,
@@ -240,6 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--service", action="store_true",
                          help="run the run-service cold/warm cache bench "
                               "instead (records BENCH_service.json)")
+    bench_p.add_argument("--kernel", choices=("fused", "vector", "auto"),
+                         default=None,
+                         help="burst kernel to bench (default: auto)")
+    bench_p.add_argument("--compare", metavar="K1,K2", default=None,
+                         help="measure each listed kernel (e.g. "
+                              "fused,vector) and print a speedup table "
+                              "instead of recording an entry")
 
     cache_p = sub.add_parser(
         "cache", parents=[json_parent],
@@ -600,6 +613,10 @@ def cmd_bench(args) -> int:
         argv = ["--repeats", str(args.repeats), "--label", args.label]
         if args.no_update:
             argv.append("--no-update")
+        if args.kernel:
+            argv += ["--kernel", args.kernel]
+        if args.compare:
+            argv += ["--compare", args.compare]
         code = bench.main(argv)
     if args.json:
         _print_json({"command": "bench", "ok": code == 0})

@@ -145,12 +145,14 @@ def build_configs(args: Any) -> CLIConfigs:
     machine = None
     line_size = get("line_size")
     cores = get("cores")
-    if line_size is not None or cores is not None:
+    kernel = get("kernel")
+    if line_size is not None or cores is not None or kernel is not None:
         defaults = MachineConfig()
         machine = MachineConfig(
             num_cores=cores if cores is not None else defaults.num_cores,
             cache_line_size=(line_size if line_size is not None
-                             else defaults.cache_line_size))
+                             else defaults.cache_line_size),
+            kernel=kernel if kernel is not None else defaults.kernel)
 
     pmu = PMUConfig(period=get("period")) if get("period") else None
     cheetah = CheetahConfig(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.errors import SimulationError
 from repro.sim.ops import (
     Barrier, Fence, Free, Join, Load, LoopAccess, Malloc, Spawn, Store, Work,
 )
@@ -44,12 +45,24 @@ class _BurstState:
     fused burst loop re-reads them on every scheduling quantum, and many
     workloads yield very short loops, so per-quantum attribute traffic on
     the op would otherwise dominate.
+
+    Zero-trip loops (``count == 0`` or ``repeat == 0``) are no-ops the
+    engine filters out before constructing burst state, so an in-flight
+    burst always has strictly positive extents — the burst kernels'
+    remaining-iteration arithmetic depends on it, and a negative value
+    sneaking through the engine's truthiness guard would silently run
+    the loop the wrong way. Enforced here, at the single choke point.
     """
 
     __slots__ = ("op", "index", "repeat", "base", "stride", "count",
                  "repeat_total", "work", "read", "write")
 
     def __init__(self, op: LoopAccess):
+        if op.count <= 0 or op.repeat <= 0:
+            raise SimulationError(
+                "burst state requires positive extents: "
+                f"count={op.count}, repeat={op.repeat} "
+                f"(zero-trip loops must be dropped before dispatch)")
         self.op = op
         self.index = 0
         self.repeat = 0

@@ -20,9 +20,18 @@ Execution paths diffed per spec:
 - ``observed``        — general per-access loop, via a zero-cost observer;
 - ``checked``         — sanitizer mode (``Machine(check=True)``), which
                         must be behaviour-preserving, not just clean;
-- ``pmu-fast`` /
-  ``pmu-observed``    — the same pair with a PMU attached, exercising
-                        the fused loop's inlined sampling countdown.
+- ``vector``          — the array-batched kernel (:mod:`repro.sim.kernel`),
+                        batching provably-HIT spans with slow-path escapes;
+- ``vector-checked``  — the vector planner re-proved per access under the
+                        sanitizer (every planned access must be the HIT
+                        the planner claimed);
+- ``pmu-*``           — the same set with a PMU attached, exercising the
+                        kernels' inlined sampling countdowns.
+
+Specs may carry a ``checkpoints`` list of cycle numbers; the fired
+``(cycle, now)`` pairs join the fingerprint, pinning quantum boundaries
+(a batched span must escape at a checkpoint-bounded limit exactly where
+the scalar loop would).
 """
 
 from __future__ import annotations
@@ -96,7 +105,7 @@ def generate_spec(seed: int) -> Dict:
          for _ in range(num_phases)]
         for _ in range(num_workers)
     ]
-    return {
+    spec = {
         "seed": seed,
         "num_cores": rng.choice((2, 4, 8, 48)),
         "jitter": rng.choice((0, 1, 2, 3)),
@@ -108,6 +117,14 @@ def generate_spec(seed: int) -> Dict:
         "buffers": buffers,
         "workers": workers,
     }
+    # Drawn last so adding this field left every earlier field of
+    # pre-existing seeds unchanged: mid-run checkpoints bound scheduling
+    # quanta, forcing the vector kernel to escape a batch exactly where
+    # the scalar loop would stop.
+    spec["checkpoints"] = (
+        sorted(rng.randint(50, 20000) for _ in range(rng.randint(1, 3)))
+        if rng.random() < 0.4 else [])
+    return spec
 
 
 # -- program construction ----------------------------------------------------
@@ -161,7 +178,8 @@ def build_main(spec: Dict):
 
 # -- execution + fingerprinting ---------------------------------------------
 
-def fingerprint(result, pmu: Optional[PMU] = None) -> Dict:
+def fingerprint(result, pmu: Optional[PMU] = None,
+                checkpoints: Optional[List] = None) -> Dict:
     """Every deterministic output of a run, as one comparable dict."""
     machine = result.machine
     fp = {
@@ -180,13 +198,15 @@ def fingerprint(result, pmu: Optional[PMU] = None) -> Dict:
     if pmu is not None:
         fp["pmu"] = [pmu.samples_fired, pmu.memory_samples,
                      sorted(pmu.overhead_by_tid.items())]
+    if checkpoints is not None:
+        fp["checkpoints"] = checkpoints
     return fp
 
 
 def run_spec(spec: Dict, *, observed: bool = False, check: bool = False,
-             pmu: bool = False) -> Dict:
+             pmu: bool = False, kernel: str = "fused") -> Dict:
     """Run one spec on a fresh machine; returns its fingerprint."""
-    config = MachineConfig(num_cores=spec["num_cores"])
+    config = MachineConfig(num_cores=spec["num_cores"], kernel=kernel)
     machine = Machine(config, timing_jitter=spec["jitter"],
                       jitter_seed=spec["jitter_seed"],
                       transfer_window=spec["transfer_window"],
@@ -197,8 +217,14 @@ def run_spec(spec: Dict, *, observed: bool = False, check: bool = False,
                     observer=_NullObserver() if observed else None,
                     allocator=CheetahAllocator(
                         line_size=config.cache_line_size))
+    cycles = spec.get("checkpoints") or ()
+    fired: List[List[int]] = []
+    for cycle in cycles:
+        engine.add_checkpoint(
+            cycle, lambda _eng, now, c=cycle: fired.append([c, now]))
     result = engine.run(build_main(spec))
-    return fingerprint(result, pmu_obj)
+    return fingerprint(result, pmu_obj,
+                       checkpoints=fired if cycles else None)
 
 
 def _first_divergence(base: Dict, other: Dict) -> Optional[str]:
@@ -215,15 +241,20 @@ def diff_spec(spec: Dict) -> Optional[Dict]:
     and the first differing fingerprint key.
     """
     base = run_spec(spec)
-    for variant, kwargs in (("observed", {"observed": True}),
-                            ("checked", {"check": True})):
+    for variant, kwargs in (
+            ("observed", {"observed": True}),
+            ("checked", {"check": True}),
+            ("vector", {"kernel": "vector"}),
+            ("vector-checked", {"kernel": "vector", "check": True})):
         delta = _first_divergence(base, run_spec(spec, **kwargs))
         if delta is not None:
             return {"seed": spec["seed"], "variants": ("fast", variant),
                     "delta": delta}
     pmu_base = run_spec(spec, pmu=True)
-    for variant, kwargs in (("pmu-observed", {"pmu": True, "observed": True}),
-                            ("pmu-checked", {"pmu": True, "check": True})):
+    for variant, kwargs in (
+            ("pmu-observed", {"pmu": True, "observed": True}),
+            ("pmu-checked", {"pmu": True, "check": True}),
+            ("pmu-vector", {"pmu": True, "kernel": "vector"})):
         delta = _first_divergence(pmu_base, run_spec(spec, **kwargs))
         if delta is not None:
             return {"seed": spec["seed"], "variants": ("pmu-fast", variant),

@@ -229,6 +229,22 @@ class Machine:
     # this so the sanitizer validates *their* fast path.
     _raw_access_tuple = access_tuple
 
+    def line_is_private(self, core: int, state, is_write: bool) -> bool:
+        """Batch-planner predicate (see :mod:`repro.sim.kernel`): may
+        ``core`` keep hitting ``state``'s line without a transition?
+
+        Must match the fast-path predicate in :meth:`access_tuple`
+        exactly: a write is private only under exclusive-modified
+        ownership (which subsumes the read predicate); a read is private
+        whenever the core holds a valid copy. The vector kernel plans
+        whole spans on this answer, so a corrupted override is exactly
+        what the mutation self-test injects to prove the sanitizer net
+        catches planner bugs.
+        """
+        if is_write:
+            return state.dirty_owner == core
+        return core in state.holders
+
     @property
     def pinned_lines(self) -> int:
         """Entries currently held in the coherence pin table."""

@@ -87,6 +87,12 @@ class MachineConfig(ConfigBase):
             (pthread_create analogue).
         join_cost: cycles charged to a parent thread per join.
         alloc_cost: cycles charged for a malloc/free call.
+        kernel: burst-execution kernel selection — ``"fused"`` (the
+            scalar per-access loop), ``"vector"`` (the array-batched
+            kernel in :mod:`repro.sim.kernel`), or ``"auto"`` (vector
+            whenever no observer/sanitizer/obs hook needs to see every
+            access, fused otherwise). All selections are bit-identical;
+            this is purely a performance knob.
     """
 
     num_cores: int = 48
@@ -96,6 +102,7 @@ class MachineConfig(ConfigBase):
     spawn_cost: int = 500
     join_cost: int = 200
     alloc_cost: int = 100
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -108,6 +115,10 @@ class MachineConfig(ConfigBase):
             )
         if self.word_size & (self.word_size - 1) or self.word_size <= 0:
             raise ConfigError(f"word_size must be a power of two, got {self.word_size}")
+        if self.kernel not in ("fused", "vector", "auto"):
+            raise ConfigError(
+                f"kernel must be 'fused', 'vector' or 'auto', got {self.kernel!r}"
+            )
         self.latency.validate()
         # line_shift is consulted on every simulated access; precompute it
         # once so the hot path reads a plain int instead of re-deriving it

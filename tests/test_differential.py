@@ -48,6 +48,20 @@ class TestRunSpec:
         assert fp["runtime"] > 0
         assert fp["machine"][0] > 0  # total accesses
 
+    def test_checkpoint_specs_fingerprint_their_fires(self):
+        spec = next(s for s in CORPUS if s.get("checkpoints"))
+        fp = run_spec(spec)
+        assert "checkpoints" in fp
+        # Every fired entry is (registered_cycle, fire_clock) with the
+        # fire at or past the registered cycle.
+        for cycle, now in fp["checkpoints"]:
+            assert cycle in spec["checkpoints"]
+            assert now >= cycle
+
+    def test_vector_kernel_fingerprint_matches_fused(self):
+        spec = CORPUS[0]
+        assert run_spec(spec, kernel="vector") == run_spec(spec)
+
     def test_different_seeds_differ(self):
         # Not logically required, but if every program fingerprints the
         # same thing the differential harness is vacuous.

@@ -187,4 +187,6 @@ class TestRunResult:
         assert result.thread_runtime(1) == result.threads[1].runtime
         assert result.total_accesses == 10
         assert result.total_instructions >= 10
-        assert result.metadata == {}
+        # The run records which burst kernel executed it.
+        assert result.metadata["kernel"] in ("fused", "vector")
+        assert isinstance(result.metadata["kernel_numpy"], bool)
