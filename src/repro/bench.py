@@ -51,12 +51,29 @@ THROUGHPUT_SCENARIOS = (
 
 SEED = 11
 
+KERNELS = ("fused", "vector", "auto")
+MODES = ("simulate", "predict", "sampled")
+
+#: The predict-mode showcase scenario: a thread/volume combination far
+#: beyond what full simulation can touch interactively. ~1.06e8
+#: simulated accesses (1024 workers x 2 accesses x 800*65 iterations).
+PREDICT_TARGET = {"workload": "synthetic", "threads": 1024, "scale": 65.0,
+                  "cores": 1024}
+#: Feasible replica used to measure the real simulate-mode access rate
+#: that the extrapolated "implied simulate seconds" is computed from.
+PREDICT_REPLICA = {"threads": 64, "scale": 4.0}
+
 
 def _measure_throughput(name: str, threads: int, scale: float,
                         profiled: bool, repeats: int,
-                        kernel: Optional[str] = None) -> Dict[str, object]:
+                        kernel: Optional[str] = None,
+                        mode: Optional[str] = None) -> Dict[str, object]:
     cls = get_workload(name)
-    config = MachineConfig(kernel=kernel) if kernel else None
+    config = None
+    if kernel or (mode and mode != "simulate"):
+        defaults = MachineConfig()
+        config = MachineConfig(kernel=kernel or defaults.kernel,
+                               mode=mode or defaults.mode)
     best_rate = 0.0
     accesses = 0
     variant = "fused"
@@ -66,11 +83,87 @@ def _measure_throughput(name: str, threads: int, scale: float,
         outcome = run_workload(workload, machine_config=config,
                                jitter_seed=SEED, with_cheetah=profiled)
         elapsed = time.perf_counter() - start
+        # For the analytical modes this is the *predicted* access count
+        # of the target run, so the rate reads as effective accesses per
+        # second — the fair apples-to-apples number for mode comparison.
         accesses = outcome.result.total_accesses
         variant = outcome.result.metadata.get("kernel", "fused")
         best_rate = max(best_rate, accesses / elapsed)
     return {"accesses": accesses, "accesses_per_sec": round(best_rate, 1),
             "kernel": variant}
+
+
+def measure_predict_speedup(repeats: int = 1) -> Dict[str, object]:
+    """The fast-forward headline: predict a 1024-thread, 10^8-access run
+    and compare its wall-clock against the *implied* cost of simulating
+    it (predicted accesses / measured simulate rate on a feasible
+    replica of the same workload)."""
+    cls = get_workload(PREDICT_TARGET["workload"])
+    target_config = MachineConfig(num_cores=PREDICT_TARGET["cores"],
+                                  mode="predict")
+    predict_wall = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        workload = cls(num_threads=PREDICT_TARGET["threads"],
+                       scale=PREDICT_TARGET["scale"])
+        start = time.perf_counter()
+        outcome = run_workload(workload, machine_config=target_config,
+                               jitter_seed=SEED, with_cheetah=True)
+        predict_wall = min(predict_wall, time.perf_counter() - start)
+    predicted_accesses = outcome.result.total_accesses
+
+    replica_config = MachineConfig(num_cores=PREDICT_TARGET["cores"])
+    replica_rate = 0.0
+    for _ in range(repeats):
+        replica = cls(num_threads=PREDICT_REPLICA["threads"],
+                      scale=PREDICT_REPLICA["scale"])
+        start = time.perf_counter()
+        result = run_workload(replica, machine_config=replica_config,
+                              jitter_seed=SEED, with_cheetah=True)
+        elapsed = time.perf_counter() - start
+        replica_rate = max(replica_rate,
+                           result.result.total_accesses / elapsed)
+    implied_simulate = (predicted_accesses / replica_rate
+                        if replica_rate else float("inf"))
+    return {
+        "scenario": (f"{PREDICT_TARGET['workload']}"
+                     f"/{PREDICT_TARGET['threads']}t"
+                     f"/scale{PREDICT_TARGET['scale']:g}"),
+        "threads": PREDICT_TARGET["threads"],
+        "scale": PREDICT_TARGET["scale"],
+        "predicted_accesses": predicted_accesses,
+        "predicted_invalidations": outcome.invalidations,
+        "predict_wall_s": round(predict_wall, 4),
+        "simulate_rate_acc_per_s": round(replica_rate, 1),
+        "implied_simulate_s": round(implied_simulate, 2),
+        "speedup_vs_simulate": round(implied_simulate / predict_wall, 1),
+    }
+
+
+def measure_predict_error(repeats: int = 1) -> Dict[str, object]:
+    """Predict-vs-simulate invalidation/runtime error on a scenario small
+    enough to hold the ground truth (rides in the bench entry so the
+    speedup number is always published next to its accuracy)."""
+    del repeats  # both runs are deterministic
+    from repro.predict.validate import relative_error
+    cls = get_workload("synthetic")
+    truth = run_workload(cls(num_threads=8, scale=2.0),
+                         jitter_seed=SEED, with_cheetah=True)
+    pred = run_workload(cls(num_threads=8, scale=2.0),
+                        machine_config=MachineConfig(mode="predict"),
+                        jitter_seed=SEED, with_cheetah=True)
+    return {
+        "scenario": "synthetic/8t/scale2",
+        "true_invalidations": truth.invalidations,
+        "pred_invalidations": pred.invalidations,
+        "invalidation_error": round(
+            relative_error(pred.invalidations, truth.invalidations), 4),
+        "runtime_error": round(
+            abs(pred.result.runtime - truth.result.runtime)
+            / truth.result.runtime, 4),
+        "verdict_agrees": bool(truth.report.significant)
+        == bool(pred.report.significant),
+    }
 
 
 def _measure_wall(fn: Callable[[], object], repeats: int) -> float:
@@ -103,27 +196,37 @@ def run_bench(repeats: int = 3,
         "numpy": vector_kernel.HAVE_NUMPY,
         "throughput": throughput,
         "experiments": experiments,
+        "predict": {
+            "fast_forward": measure_predict_speedup(repeats=1),
+            "accuracy": measure_predict_error(),
+        },
     }
 
 
-def run_compare(kernels: Sequence[str], repeats: int = 3) -> str:
-    """Measure every throughput scenario under each kernel; returns a
-    speedup table (first kernel is the denominator)."""
+def run_compare(variants: Sequence[str], repeats: int = 3,
+                variant_kind: str = "kernel") -> str:
+    """Measure every throughput scenario under each kernel *or* mode;
+    returns a speedup table (first variant is the denominator)."""
     header = f"{'scenario':<28}" + "".join(
-        f"{k + ' acc/s':>16}" for k in kernels)
-    if len(kernels) > 1:
+        f"{v + ' acc/s':>18}" for v in variants)
+    if len(variants) > 1:
         header += f"{'speedup':>10}"
     lines = [header]
     for key, name, threads, scale, profiled in THROUGHPUT_SCENARIOS:
-        rates = [
-            _measure_throughput(name, threads, scale, profiled, repeats,
-                                kernel=k)["accesses_per_sec"]
-            for k in kernels
-        ]
-        row = f"{key:<28}" + "".join(f"{r:>16,.0f}" for r in rates)
-        if len(kernels) > 1:
+        rates = []
+        for variant in variants:
+            kwargs = ({"kernel": variant} if variant_kind == "kernel"
+                      else {"mode": variant})
+            rates.append(_measure_throughput(
+                name, threads, scale, profiled, repeats,
+                **kwargs)["accesses_per_sec"])
+        row = f"{key:<28}" + "".join(f"{r:>18,.0f}" for r in rates)
+        if len(variants) > 1:
             row += f"{rates[-1] / rates[0]:>9.2f}x"
         lines.append(row)
+    if variant_kind == "mode":
+        lines.append("(analytical-mode rates are effective: predicted "
+                     "accesses of the target run per wall second)")
     return "\n".join(lines)
 
 
@@ -165,6 +268,20 @@ def render_comparison(entries: Sequence[Dict[str, object]],
             if base:
                 parts.append(f"{base / wall:5.2f}x vs baseline")
         lines.append("  ".join(parts))
+    predict = current.get("predict")
+    if predict:
+        ff = predict["fast_forward"]
+        acc = predict["accuracy"]
+        lines.append(
+            f"predict {ff['scenario']:<20} {ff['predict_wall_s']:.2f}s for "
+            f"{ff['predicted_accesses']:,} accesses "
+            f"(implied simulate {ff['implied_simulate_s']:,.0f}s -> "
+            f"{ff['speedup_vs_simulate']:,.0f}x)")
+        lines.append(
+            f"predict accuracy [{acc['scenario']}]     invalidation error "
+            f"{acc['invalidation_error']:.1%}, runtime error "
+            f"{acc['runtime_error']:.1%}, verdict "
+            f"{'agrees' if acc['verdict_agrees'] else 'DISAGREES'}")
     return "\n".join(lines)
 
 
@@ -185,18 +302,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--kernel", choices=("fused", "vector", "auto"),
                         default=None,
                         help="burst kernel to bench (default: auto)")
-    parser.add_argument("--compare", metavar="K1,K2", default=None,
-                        help="measure each listed kernel (comma-separated, "
-                             "e.g. fused,vector) and print a speedup "
-                             f"table; does not touch {BENCH_FILE}")
+    parser.add_argument("--compare", metavar="V1,V2", default=None,
+                        help="measure each listed kernel (fused,vector) or "
+                             "mode (simulate,predict,sampled) and print a "
+                             f"speedup table; does not touch {BENCH_FILE}")
     args = parser.parse_args(argv)
 
     if args.compare:
-        kernels = [k.strip() for k in args.compare.split(",") if k.strip()]
-        bad = [k for k in kernels if k not in ("fused", "vector", "auto")]
-        if bad or not kernels:
-            parser.error(f"--compare: unknown kernel(s) {bad or args.compare}")
-        print(run_compare(kernels, repeats=args.repeats))
+        variants = [v.strip() for v in args.compare.split(",") if v.strip()]
+        if not variants:
+            parser.error(f"--compare: nothing to compare in "
+                         f"{args.compare!r}")
+        if all(v in KERNELS for v in variants):
+            kind = "kernel"
+        elif all(v in MODES for v in variants):
+            kind = "mode"
+        else:
+            bad = [v for v in variants
+                   if v not in KERNELS and v not in MODES]
+            parser.error(
+                f"--compare: unknown variant(s) {bad}; list either "
+                f"kernels {KERNELS} or modes {MODES}, not a mixture")
+        print(run_compare(variants, repeats=args.repeats,
+                          variant_kind=kind))
         return 0
 
     path = args.path or Path(__file__).resolve().parents[2] / BENCH_FILE

@@ -7,6 +7,8 @@
     python -m repro profile linear_regression --threads 16 --period 128
     python -m repro trace histogram --out histogram.trace.json
     python -m repro metrics linear_regression --profile
+    python -m repro predict synthetic --threads 1024 --scale 100
+    python -m repro predict --validate --smoke
     python -m repro fix-check streamcluster --threads 8
     python -m repro compare histogram
     python -m repro experiment table1 --scale 0.5
@@ -135,6 +137,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "array-batched spans, or 'auto' (default) — "
                             "vector when no observer/sanitizer needs "
                             "per-access visibility, else fused")
+        p.add_argument("--mode", choices=("simulate", "predict", "sampled"),
+                       default=None,
+                       help="execution mode: 'simulate' (default) runs "
+                            "every access; 'predict' profiles a short "
+                            "prefix and extrapolates analytically; "
+                            "'sampled' simulates a few bursts and "
+                            "extrapolates with confidence intervals "
+                            "(non-default modes tag results "
+                            "predicted=true)")
+        p.add_argument("--check", action="store_true",
+                       help="run under the coherence sanitizer (slow; "
+                            "incompatible with --mode predict)")
 
     def add_obs_flags(p):
         p.add_argument("--trace", metavar="FILE", default=None,
@@ -194,6 +208,44 @@ def build_parser() -> argparse.ArgumentParser:
     met_p.add_argument("--period", type=int, default=None,
                        help="PMU sampling period (implies --profile)")
 
+    pred_p = sub.add_parser(
+        "predict", parents=[json_parent, cache_parent],
+        help="predict a run analytically without simulating it "
+             "(or cross-validate prediction: --validate)")
+    pred_p.add_argument("workload", nargs="?", default=None,
+                        help="workload name (omit with --validate)")
+    pred_p.add_argument("--threads", type=int, default=None,
+                        help="worker thread count (default: workload's)")
+    pred_p.add_argument("--scale", type=float, default=1.0,
+                        help="iteration-count multiplier")
+    pred_p.add_argument("--fixed", action="store_true",
+                        help="use the padded (bug-fixed) layout")
+    pred_p.add_argument("--seed", type=int, default=11,
+                        help="machine timing-jitter seed")
+    pred_p.add_argument("--line-size", type=int, default=None,
+                        help="cache line size in bytes (default: machine's)")
+    pred_p.add_argument("--cores", type=int, default=None,
+                        help="core count (default: machine's)")
+    pred_p.add_argument("--kernel", choices=("fused", "vector", "auto"),
+                        default=None,
+                        help="burst kernel for the prefix/burst runs")
+    pred_p.add_argument("--mode", choices=("predict", "sampled"),
+                        default="predict",
+                        help="'predict' (default): analytical model; "
+                             "'sampled': simulate bursts with CIs")
+    pred_p.add_argument("--check", action="store_true",
+                        help="sanitize the bursts (--mode sampled only)")
+    pred_p.add_argument("--period", type=int, default=None,
+                        help="PMU sampling period the prediction targets")
+    pred_p.add_argument("--validate", action="store_true",
+                        help="cross-validate prediction against full "
+                             "simulation over the ground-truth workloads")
+    pred_p.add_argument("--smoke", action="store_true",
+                        help="with --validate: quick CI subset")
+    pred_p.add_argument("--workloads", default=None,
+                        help="with --validate: comma-separated workload "
+                             "subset")
+
     fix_p = sub.add_parser(
         "fix-check", parents=[json_parent, cache_parent],
         help="measure the real speedup of the padding fix and compare "
@@ -249,10 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--kernel", choices=("fused", "vector", "auto"),
                          default=None,
                          help="burst kernel to bench (default: auto)")
-    bench_p.add_argument("--compare", metavar="K1,K2", default=None,
-                         help="measure each listed kernel (e.g. "
-                              "fused,vector) and print a speedup table "
-                              "instead of recording an entry")
+    bench_p.add_argument("--compare", metavar="V1,V2", default=None,
+                         help="measure each listed kernel (fused,vector) "
+                              "or mode (simulate,predict,sampled) and "
+                              "print a speedup table instead of "
+                              "recording an entry")
 
     cache_p = sub.add_parser(
         "cache", parents=[json_parent],
@@ -309,6 +362,7 @@ def _session(args, configs: CLIConfigs) -> Session:
         pmu=configs.pmu,
         cheetah=configs.cheetah,
         obs=configs.obs,
+        check=configs.check,
     )
 
 
@@ -428,6 +482,68 @@ def cmd_metrics(args) -> int:
         text = outcome.obs.render_prometheus()
     _write_text(args.out, text, "metrics")
     return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.errors import ConfigError
+    if args.validate:
+        from repro.predict import validate as predict_validate
+        argv = []
+        if args.smoke:
+            argv.append("--smoke")
+        if args.workloads:
+            argv += ["--workloads", args.workloads]
+        if args.seed != 11:
+            argv += ["--seed", str(args.seed)]
+        if args.json:
+            argv.append("--json")
+        return predict_validate.main(argv)
+    if not args.workload:
+        raise ConfigError(
+            "predict needs a workload name (or --validate to run the "
+            "cross-validation harness)")
+    configs = build_configs(args)
+    outcome = _session(args, configs).profile()
+    result = outcome.result
+    meta = result.metadata
+    if args.json:
+        _print_json({
+            "workload": args.workload,
+            "mode": meta.get("mode"),
+            "predicted": outcome.predicted,
+            "runtime": outcome.runtime,
+            "accesses": result.total_accesses,
+            "invalidations": outcome.invalidations,
+            "significant_instances": len(outcome.report.significant),
+            "predicted_slowdown": meta.get("predicted_slowdown"),
+            "profile": meta.get("profile"),
+            "sampled": meta.get("sampled"),
+            "from_cache": outcome.from_cache,
+        })
+        return 0 if outcome.report.significant else 1
+    print(f"workload:       {args.workload}")
+    print(f"mode:           {meta.get('mode')} (estimates, not a full "
+          "simulation)")
+    print(f"runtime:        {outcome.runtime:,} cycles (predicted)")
+    print(f"accesses:       {result.total_accesses:,} (predicted)")
+    print(f"invalidations:  {outcome.invalidations:,} (predicted)")
+    profile_meta = meta.get("profile")
+    if profile_meta:
+        print(f"profiled:       {profile_meta['profiled_accesses']:,} "
+              f"accesses over {profile_meta['calibration_points']} "
+              f"prefix run(s) at scale(s) "
+              f"{profile_meta.get('prefix_scales')}")
+    sampled_meta = meta.get("sampled")
+    if sampled_meta:
+        ci = sampled_meta["ci95"]
+        print(f"bursts:         {sampled_meta['bursts']} at scale "
+              f"{sampled_meta['burst_scale']:g} (factor "
+              f"{sampled_meta['factor']:g}); 95% CI runtime "
+              f"+-{ci['runtime']:,.0f}, invalidations "
+              f"+-{ci['invalidations']:,.0f}")
+    print()
+    print(outcome.report.render())
+    return 0 if outcome.report.significant else 1
 
 
 def cmd_fix_check(args) -> int:
@@ -661,6 +777,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "predict": cmd_predict,
     "fix-check": cmd_fix_check,
     "compare": cmd_compare,
     "experiment": cmd_experiment,

@@ -115,6 +115,7 @@ class CLIConfigs:
     cache_enabled: bool = True
     cache_dir: Optional[str] = None  # None: repro.service.default_cache_dir
     jobs: Optional[int] = None
+    check: bool = False  # run under the coherence sanitizer
 
 
 def build_configs(args: Any) -> CLIConfigs:
@@ -146,21 +147,47 @@ def build_configs(args: Any) -> CLIConfigs:
     line_size = get("line_size")
     cores = get("cores")
     kernel = get("kernel")
-    if line_size is not None or cores is not None or kernel is not None:
+    mode = get("mode")
+    check = bool(get("check", False))
+    want_trace = bool(get("trace")) or get("command") == "trace"
+    want_metrics = bool(get("metrics")) or get("command") == "metrics"
+
+    # Execution-mode sanity: the analytical modes skip (most of) the full
+    # simulation, so flags that need to observe every access of the real
+    # run cannot mean anything. Reject the combination here — with the
+    # flag spellings the user typed — instead of deep in the run layer.
+    if mode is not None and mode != "simulate":
+        if mode == "predict" and check:
+            raise ConfigError(
+                "--mode predict cannot be combined with --check: "
+                "prediction performs no full simulation for the "
+                "sanitizer to shadow; use --mode sampled (bursts run "
+                "under the sanitizer) or --mode simulate")
+        if want_trace or want_metrics:
+            offender = "--trace" if want_trace else "--metrics"
+            command = get("command")
+            if command in ("trace", "metrics"):
+                offender = f"the '{command}' command"
+            raise ConfigError(
+                f"--mode {mode} cannot be combined with {offender}: "
+                "predicted runs have no full simulation timeline to "
+                "observe; use --mode simulate")
+
+    if (line_size is not None or cores is not None or kernel is not None
+            or mode is not None):
         defaults = MachineConfig()
         machine = MachineConfig(
             num_cores=cores if cores is not None else defaults.num_cores,
             cache_line_size=(line_size if line_size is not None
                              else defaults.cache_line_size),
-            kernel=kernel if kernel is not None else defaults.kernel)
+            kernel=kernel if kernel is not None else defaults.kernel,
+            mode=mode if mode is not None else defaults.mode)
 
     pmu = PMUConfig(period=get("period")) if get("period") else None
     cheetah = CheetahConfig(
         report_true_sharing=bool(get("true_sharing", False)))
 
     obs = None
-    want_trace = bool(get("trace")) or get("command") == "trace"
-    want_metrics = bool(get("metrics")) or get("command") == "metrics"
     if want_trace or want_metrics:
         obs = ObsConfig(
             trace=want_trace,
@@ -179,4 +206,5 @@ def build_configs(args: Any) -> CLIConfigs:
         cache_enabled=bool(get("cache", True)),
         cache_dir=get("cache_dir"),
         jobs=get("jobs"),
+        check=check,
     )

@@ -1,0 +1,238 @@
+"""Cross-validation harness: predict vs full simulation.
+
+For each workload in the validation set, run the same (threads, scale,
+seed, config) pair twice — once in ``simulate`` mode (ground truth) and
+once in ``predict`` mode — and compare:
+
+- **invalidations**: relative error ``|pred - true| / true`` when the
+  true count is at least :data:`NEGLIGIBLE_INVALIDATIONS`; below that
+  the run has no contention to speak of, and the error is 0 when the
+  prediction agrees it is negligible, 1 when it hallucinates contention;
+- **runtime**: relative error (reported, not gated — the detection
+  product is invalidations and findings, runtime is secondary);
+- **verdict**: does the predicted Cheetah report flag significant false
+  sharing exactly when the simulated one does, and (when both flag) do
+  they agree on the top object?
+
+The harness passes when the median invalidation error is at most
+:data:`MEDIAN_ERROR_BUDGET` and the verdict agrees on every workload.
+``repro predict --validate`` and ``tools/predict_accuracy.py`` both call
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profiler import CheetahConfig
+from repro.run import run_workload
+from repro.sim.params import MachineConfig
+from repro.workloads.base import get_workload
+
+#: True-invalidation counts below this are "no contention"; predictions
+#: are judged on agreeing with that, not on relative error against a
+#: tiny denominator.
+NEGLIGIBLE_INVALIDATIONS = 50
+
+#: Acceptance bar: median relative invalidation error across the set.
+MEDIAN_ERROR_BUDGET = 0.10
+
+#: (workload, threads, scale) triples. Mixes the ground-truth positives
+#: (documented false sharing) with negative controls, over both heap and
+#: global objects and both micro and application-shaped access patterns.
+VALIDATION_SET = (
+    ("synthetic", 8, 2.0),
+    ("array_increment", 8, 2.0),
+    ("linear_regression", 8, 1.0),
+    ("histogram", 8, 1.0),
+    ("word_count", 8, 1.0),
+    ("streamcluster", 8, 1.0),
+    ("matrix_multiply", 4, 0.5),
+    ("string_match", 4, 1.0),
+)
+
+#: The quick subset CI runs (``--smoke``).
+SMOKE_SET = (
+    ("synthetic", 8, 2.0),
+    ("array_increment", 8, 2.0),
+    ("linear_regression", 8, 1.0),
+    ("matrix_multiply", 4, 0.5),
+)
+
+
+@dataclass
+class WorkloadResult:
+    """Predict-vs-simulate comparison for one workload."""
+
+    name: str
+    threads: int
+    scale: float
+    true_invalidations: int
+    pred_invalidations: int
+    invalidation_error: float
+    true_runtime: int
+    pred_runtime: int
+    runtime_error: float
+    true_verdict: bool
+    pred_verdict: bool
+    verdict_agrees: bool
+    top_object_agrees: bool
+    simulate_seconds: float
+    predict_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+def relative_error(pred: float, true: float,
+                   negligible: int = NEGLIGIBLE_INVALIDATIONS) -> float:
+    """Relative error with the negligible-count rule described above."""
+    if true >= negligible:
+        return abs(pred - true) / true
+    return 0.0 if pred < negligible else 1.0
+
+
+def _top_label(report) -> Optional[str]:
+    best = report.best() if report is not None else None
+    return best.profile.label if best is not None else None
+
+
+def validate_workload(name: str, threads: int, scale: float, *,
+                      seed: int = 11) -> WorkloadResult:
+    """Run one simulate-vs-predict pair and compare."""
+    cls = get_workload(name)
+    cheetah = CheetahConfig()
+
+    def build():
+        return cls(num_threads=threads, scale=scale)
+
+    start = time.perf_counter()
+    truth = run_workload(build(), machine_config=MachineConfig(),
+                         jitter_seed=seed, with_cheetah=True,
+                         cheetah_config=cheetah)
+    sim_secs = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pred = run_workload(build(),
+                        machine_config=MachineConfig(mode="predict"),
+                        jitter_seed=seed, with_cheetah=True,
+                        cheetah_config=cheetah)
+    pred_secs = time.perf_counter() - start
+
+    true_inv = truth.invalidations
+    pred_inv = pred.invalidations
+    true_rt = truth.result.runtime
+    pred_rt = pred.result.runtime
+    true_verdict = bool(truth.report.significant)
+    pred_verdict = bool(pred.report.significant)
+    if true_verdict and pred_verdict:
+        top_agrees = _top_label(truth.report) == _top_label(pred.report)
+    else:
+        top_agrees = true_verdict == pred_verdict
+    return WorkloadResult(
+        name=name, threads=threads, scale=scale,
+        true_invalidations=true_inv, pred_invalidations=pred_inv,
+        invalidation_error=round(relative_error(pred_inv, true_inv), 4),
+        true_runtime=true_rt, pred_runtime=pred_rt,
+        runtime_error=round(abs(pred_rt - true_rt) / true_rt, 4)
+        if true_rt else 0.0,
+        true_verdict=true_verdict, pred_verdict=pred_verdict,
+        verdict_agrees=true_verdict == pred_verdict,
+        top_object_agrees=top_agrees,
+        simulate_seconds=round(sim_secs, 3),
+        predict_seconds=round(pred_secs, 3),
+    )
+
+
+def run_validation(cases: Sequence[tuple], *,
+                   seed: int = 11) -> List[WorkloadResult]:
+    return [validate_workload(name, threads, scale, seed=seed)
+            for name, threads, scale in cases]
+
+
+def summarize(results: Sequence[WorkloadResult]) -> Dict[str, object]:
+    errors = sorted(r.invalidation_error for r in results)
+    mid = len(errors) // 2
+    if not errors:
+        median = 0.0
+    elif len(errors) % 2:
+        median = errors[mid]
+    else:
+        median = (errors[mid - 1] + errors[mid]) / 2.0
+    verdicts_ok = all(r.verdict_agrees for r in results)
+    passed = median <= MEDIAN_ERROR_BUDGET and verdicts_ok
+    return {
+        "workloads": len(results),
+        "median_invalidation_error": round(median, 4),
+        "max_invalidation_error": round(max(errors), 4) if errors else 0.0,
+        "median_error_budget": MEDIAN_ERROR_BUDGET,
+        "verdict_agreement": verdicts_ok,
+        "verdict_disagreements": [r.name for r in results
+                                  if not r.verdict_agrees],
+        "passed": passed,
+    }
+
+
+def render_table(results: Sequence[WorkloadResult],
+                 summary: Dict[str, object]) -> str:
+    header = (f"{'workload':<20} {'thr':>3} {'scale':>5} "
+              f"{'inv(true)':>10} {'inv(pred)':>10} {'err':>7} "
+              f"{'rt err':>7} {'verdict':>8}")
+    lines = [header, "-" * len(header)]
+    for r in results:
+        verdict = "ok" if r.verdict_agrees else "MISMATCH"
+        lines.append(
+            f"{r.name:<20} {r.threads:>3} {r.scale:>5g} "
+            f"{r.true_invalidations:>10} {r.pred_invalidations:>10} "
+            f"{r.invalidation_error:>6.1%} {r.runtime_error:>6.1%} "
+            f"{verdict:>8}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"median invalidation error {summary['median_invalidation_error']:.1%}"
+        f" (budget {summary['median_error_budget']:.0%}), verdict agreement "
+        f"{'yes' if summary['verdict_agreement'] else 'NO'} -> "
+        f"{'PASS' if summary['passed'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro predict --validate",
+        description="cross-validate analytical prediction against full "
+                    "simulation")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI subset")
+    parser.add_argument("--workloads",
+                        help="comma-separated workload names (overrides "
+                             "the built-in set; uses each set entry's "
+                             "threads/scale or 8/1.0 for new names)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    cases = list(SMOKE_SET if args.smoke else VALIDATION_SET)
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        known = {name: (name, threads, scale)
+                 for name, threads, scale in VALIDATION_SET}
+        cases = [known.get(w, (w, 8, 1.0)) for w in wanted]
+
+    results = run_validation(cases, seed=args.seed)
+    summary = summarize(results)
+    if args.json:
+        print(json.dumps({"summary": summary,
+                          "results": [r.to_dict() for r in results]},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_table(results, summary))
+    return 0 if summary["passed"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -129,6 +129,12 @@ class RunOutcome:
     #: Metrics snapshot carried by a deserialized outcome (live outcomes
     #: read the snapshot off ``obs`` instead).
     cached_metrics: Optional[Dict[str, Any]] = None
+    #: True for outcomes freshly produced by the analytical modes
+    #: (``mode="predict"``/``"sampled"``) — they carry a
+    #: :class:`RunSummary` like cached outcomes do, but were computed,
+    #: not rehydrated. Not serialized; rehydrated predictions read as
+    #: cached (their ``predicted`` metadata survives).
+    fresh_prediction: bool = False
 
     @property
     def runtime(self) -> int:
@@ -145,7 +151,14 @@ class RunOutcome:
     @property
     def from_cache(self) -> bool:
         """True when this outcome was rehydrated from serialized form."""
-        return isinstance(self.result, RunSummary)
+        return (isinstance(self.result, RunSummary)
+                and not self.fresh_prediction)
+
+    @property
+    def predicted(self) -> bool:
+        """True when this outcome is an estimate from a non-default
+        execution mode (fresh or rehydrated), not a full simulation."""
+        return bool(self.result.metadata.get("predicted"))
 
     @property
     def metrics(self) -> Dict[str, Any]:
@@ -287,6 +300,10 @@ def run_workload(workload: Workload, *,
     via :func:`repro.obs.push_default` applies, if any.
     """
     config = machine_config or MachineConfig()
+    if config.mode != "simulate":
+        return _run_analytical(workload, config, jitter_seed, pmu_config,
+                               with_cheetah, cheetah_config, observer,
+                               check, obs)
     symbols = SymbolTable()
     workload.setup(symbols)
     machine = Machine(config, jitter_seed=jitter_seed, check=check)
@@ -315,3 +332,45 @@ def run_workload(workload: Workload, *,
     if observability is not None:
         observability.finalize(result, pmu=pmu, profiler=profiler)
     return RunOutcome(result=result, report=report, obs=observability)
+
+
+def _run_analytical(workload, config, jitter_seed, pmu_config,
+                    with_cheetah, cheetah_config, observer, check,
+                    obs) -> RunOutcome:
+    """Route ``mode="predict"``/``"sampled"`` to :mod:`repro.predict`.
+
+    Combinations that cannot mean anything are rejected here (the CLI
+    layer rejects the flag spellings earlier, with flag names — see
+    ``build_configs``): full-instrumentation observers need to see every
+    access of the actual run, and the sanitizer needs a full simulation
+    to shadow, which ``predict`` never performs.
+    """
+    from repro.errors import ConfigError
+    from repro.predict import predict_outcome, sampled_outcome
+
+    mode = config.mode
+    if observer is not None:
+        raise ConfigError(
+            f"mode '{mode}' cannot attach a full-instrumentation "
+            "observer: only a short prefix/burst is simulated, so the "
+            "observer would see a sliver of the run; use mode='simulate'")
+    if obs is not None:
+        raise ConfigError(
+            f"mode '{mode}' cannot attach observability explicitly: "
+            "predicted runs have no simulation timeline to trace; use "
+            "mode='simulate'")
+    if mode == "predict":
+        if check:
+            raise ConfigError(
+                "mode 'predict' cannot run the coherence sanitizer "
+                "(check=True): prediction performs no full simulation "
+                "to shadow; use mode='sampled' (bursts run sanitized) "
+                "or mode='simulate'")
+        return predict_outcome(
+            workload, machine_config=config, jitter_seed=jitter_seed,
+            pmu_config=pmu_config, with_cheetah=with_cheetah,
+            cheetah_config=cheetah_config)
+    return sampled_outcome(
+        workload, machine_config=config, jitter_seed=jitter_seed,
+        pmu_config=pmu_config, with_cheetah=with_cheetah,
+        cheetah_config=cheetah_config, check=check)

@@ -49,8 +49,8 @@ _CALLSITE_DEPTH = 5  # the paper collects five call-stack entries
 # scalar escapes stops replanning per iteration and delegates its quantum.
 _VECTOR_ADAPT = 64
 _VECTOR_ESCAPE_RUN = 24
-# Entries kept in the whole-burst plan cache before it is dropped
-# wholesale (bounds memory on programs with many distinct burst shapes).
+# Entries kept in the whole-burst plan cache (LRU-evicted beyond this;
+# bounds memory on programs with many distinct burst shapes).
 _PLAN_CACHE_MAX = 4096
 # Simulation steps between opportunistic sweeps of the machine's coherence
 # pin table (Machine.prune_pins); bounds an otherwise unbounded dict.
@@ -166,7 +166,8 @@ class Engine:
         self._vector_miss: Dict[int, int] = {}
         # Whole-burst plan proofs keyed by (core, base, stride, count,
         # write), valid while the directory version is unchanged.
-        self._plan_cache: Dict[tuple, int] = {}
+        # LRU-bounded so long runs over many burst shapes stay flat.
+        self._plan_cache = vector_kernel.PlanCache(_PLAN_CACHE_MAX)
         # (cycle, callback) checkpoints, fired once when simulated time
         # first passes the cycle — the "interrupted by the user" hook the
         # paper's mid-run reporting needs (Section 2.4).
@@ -858,9 +859,7 @@ class Engine:
                     if k == cap and cap >= count:
                         # cap >= count means the plan verified a full
                         # sweep of the burst's line set.
-                        if len(plan_cache) >= _PLAN_CACHE_MAX:
-                            plan_cache.clear()
-                        plan_cache[ckey] = directory.version
+                        plan_cache.put(ckey, directory.version)
             else:
                 # No memory accesses: every iteration is trivially a
                 # "hit" of zero memory work.

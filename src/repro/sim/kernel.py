@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import List, Optional
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 try:
     if os.environ.get("REPRO_NO_NUMPY"):
@@ -60,6 +61,61 @@ MIN_SPAN = 12
 #: Directory probes one plan call may spend before giving up and letting
 #: the engine batch what was found so far (bounds plan cost on huge bursts).
 PLAN_PROBE_CAP = 4096
+
+
+class PlanCache:
+    """Bounded LRU map from burst-shape keys to directory versions.
+
+    The engine caches whole-burst plan proofs — "every line this burst
+    sweeps was private for this core at directory version V" — keyed by
+    ``(core, base, stride, count, is_write)``. A proof stays valid while
+    the directory version is unchanged, so a hit skips all per-line
+    probing. Long multithreaded runs over many distinct burst shapes
+    (e.g. per-thread heap chunks at many thread counts) used to grow the
+    backing dict until it was dropped wholesale; this cache instead
+    evicts the least-recently-used entry once ``cap`` is reached, so the
+    hot shapes of the current phase survive a cold sweep of one-shot
+    shapes.
+    """
+
+    __slots__ = ("cap", "_entries")
+
+    def __init__(self, cap: int = 4096):
+        if cap < 1:
+            raise ValueError(f"PlanCache cap must be >= 1, got {cap}")
+        self.cap = cap
+        self._entries: "OrderedDict[Tuple, int]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[int]:
+        """The cached directory version for ``key`` (refreshes LRU
+        recency), or ``None``."""
+        entries = self._entries
+        version = entries.get(key)
+        if version is not None:
+            entries.move_to_end(key)
+        return version
+
+    def put(self, key: Tuple, version: int) -> None:
+        """Record ``key`` as proven at ``version``; evicts the
+        least-recently-used entry when full."""
+        entries = self._entries
+        if key in entries:
+            entries[key] = version
+            entries.move_to_end(key)
+            return
+        if len(entries) >= self.cap:
+            entries.popitem(last=False)
+        entries[key] = version
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[Tuple]:
+        """Keys in LRU order (least recently used first); for tests."""
+        return list(self._entries)
 
 # Draw-buffer management: extend in chunks, compact once consumed past
 # the threshold so a long run's buffer stays bounded.

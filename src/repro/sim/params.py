@@ -93,6 +93,14 @@ class MachineConfig(ConfigBase):
             whenever no observer/sanitizer/obs hook needs to see every
             access, fused otherwise). All selections are bit-identical;
             this is purely a performance knob.
+        mode: execution mode — ``"simulate"`` (the default: run every
+            access through the coherence machine), ``"predict"``
+            (profile a short simulated prefix, then predict
+            invalidations/findings/runtime analytically in O(lines) —
+            see :mod:`repro.predict`), or ``"sampled"`` (fully simulate
+            a few representative bursts and extrapolate with confidence
+            intervals). Unlike ``kernel``, the non-default modes produce
+            *estimates*, tagged ``predicted=true`` in the run metadata.
     """
 
     num_cores: int = 48
@@ -103,6 +111,7 @@ class MachineConfig(ConfigBase):
     join_cost: int = 200
     alloc_cost: int = 100
     kernel: str = "auto"
+    mode: str = "simulate"
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -118,6 +127,11 @@ class MachineConfig(ConfigBase):
         if self.kernel not in ("fused", "vector", "auto"):
             raise ConfigError(
                 f"kernel must be 'fused', 'vector' or 'auto', got {self.kernel!r}"
+            )
+        if self.mode not in ("simulate", "predict", "sampled"):
+            raise ConfigError(
+                f"mode must be 'simulate', 'predict' or 'sampled', "
+                f"got {self.mode!r}"
             )
         self.latency.validate()
         # line_shift is consulted on every simulated access; precompute it

@@ -10,6 +10,7 @@ run small while benchmarks run at full size.
 from __future__ import annotations
 
 import abc
+import inspect
 import random
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Type
 
@@ -110,6 +111,42 @@ class Workload(abc.ABC):
             out.append((start, count))
             start += count
         return out
+
+    def clone(self, **overrides: Any) -> "Workload":
+        """A fresh instance with this workload's constructor arguments,
+        selectively overridden.
+
+        Every constructor parameter (of the subclass's ``__init__``) is
+        read back from the same-named instance attribute — the
+        convention all registry workloads follow — so extra knobs like
+        ``pattern`` or ``total_elements`` survive the copy. The clone
+        gets a *fresh* rng seeded from ``seed``, so cloning an
+        already-run workload yields the same access stream a new
+        instance would (prefix extraction in :mod:`repro.predict`
+        depends on this).
+        """
+        sig = inspect.signature(type(self).__init__)
+        kwargs: Dict[str, Any] = {}
+        for name, param in sig.parameters.items():
+            if name == "self" or param.kind in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD):
+                continue
+            if name in overrides:
+                kwargs[name] = overrides.pop(name)
+            elif hasattr(self, name):
+                kwargs[name] = getattr(self, name)
+        if overrides:
+            unknown = ", ".join(sorted(overrides))
+            raise ConfigError(
+                f"{type(self).__name__}.clone: unknown override(s) {unknown}")
+        try:
+            return type(self)(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(
+                f"{type(self).__name__} cannot be cloned: constructor "
+                f"arguments are not recoverable from attributes ({exc})"
+            ) from exc
 
     def describe(self) -> str:
         fs = "has documented FS" if self.documented_false_sharing else "no FS"

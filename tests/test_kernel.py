@@ -308,3 +308,73 @@ class TestBurstStateInvariants:
             yield from api.loop(buf, 8, 5, repeat=0)
         result = run_kernel(program, "vector")
         assert result.total_accesses == 0
+
+
+class TestPlanCache:
+    def _key(self, n):
+        return (0, 0x1000 + 64 * n, 8, 16, True)
+
+    def test_hit_and_miss(self):
+        cache = kernel.PlanCache(cap=4)
+        assert cache.get(self._key(0)) is None
+        cache.put(self._key(0), 7)
+        assert cache.get(self._key(0)) == 7
+        assert self._key(0) in cache
+        assert len(cache) == 1
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = kernel.PlanCache(cap=2)
+        cache.put(self._key(0), 1)
+        cache.put(self._key(1), 1)
+        # Touch key 0 so key 1 becomes the least recently used.
+        assert cache.get(self._key(0)) == 1
+        cache.put(self._key(2), 1)
+        assert self._key(0) in cache
+        assert self._key(1) not in cache
+        assert self._key(2) in cache
+
+    def test_put_refreshes_recency_and_updates_version(self):
+        cache = kernel.PlanCache(cap=2)
+        cache.put(self._key(0), 1)
+        cache.put(self._key(1), 1)
+        cache.put(self._key(0), 9)  # re-put: newer version, fresh recency
+        cache.put(self._key(2), 1)
+        assert cache.get(self._key(0)) == 9
+        assert self._key(1) not in cache
+        assert len(cache) == 2
+
+    def test_size_stays_bounded_under_churn(self):
+        cache = kernel.PlanCache(cap=8)
+        for n in range(1000):
+            cache.put(self._key(n), n)
+        assert len(cache) == 8
+        assert cache.keys() == [self._key(n) for n in range(992, 1000)]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="cap"):
+            kernel.PlanCache(cap=0)
+
+    def test_engine_plan_cache_bounded_across_run(self):
+        # Regression: the engine's burst-plan memo must not grow without
+        # bound over a run with many distinct burst shapes.
+        def program(api):
+            bufs = []
+            for _ in range(8):
+                buf = yield from api.malloc(512)
+                bufs.append(buf)
+            for rep in range(1, 5):
+                for buf in bufs:
+                    yield from api.loop(buf, 8, 16, repeat=rep)
+        result = run_kernel(program, "vector")
+        assert result.total_accesses > 0
+        # Shapes used: 8 buffers x 4 repeats, well under the cap.
+        # Force a tiny cap and re-run to prove eviction keeps it bounded.
+        import repro.sim.engine as engine_mod
+        original = engine_mod._PLAN_CACHE_MAX
+        engine_mod._PLAN_CACHE_MAX = 4
+        try:
+            bounded = run_kernel(program, "vector")
+        finally:
+            engine_mod._PLAN_CACHE_MAX = original
+        assert bounded.total_accesses == result.total_accesses
+        assert bounded.runtime == result.runtime

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Prediction-accuracy entry point; see :mod:`repro.predict.validate`.
+
+::
+
+    PYTHONPATH=src python tools/predict_accuracy.py [--smoke] [--json]
+        [--workloads a,b,c] [--seed N]
+
+Equivalent to ``repro predict --validate``. For each ground-truth
+workload the harness runs the same configuration in ``simulate`` and
+``predict`` mode and reports per-workload invalidation/runtime error and
+detection-verdict agreement; exits non-zero when the median
+invalidation error exceeds the budget or any verdict disagrees.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.predict.validate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
