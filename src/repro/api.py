@@ -101,6 +101,12 @@ class Session:
             already carries a non-default detector is fine — ``detector``
             wins).
         cheetah: full :class:`~repro.core.profiler.CheetahConfig`.
+        detector_mode: ``"offline"`` or ``"windowed"``; folded into
+            ``cheetah`` (like ``detector``, the explicit kwarg wins).
+        adaptive: ``True`` enables the adaptive PMU policy with default
+            knobs (folded into ``pmu``); pass a full ``pmu`` config with
+            its own :class:`~repro.pmu.adaptive.AdaptiveConfig` for
+            fine-grained control.
         obs: :class:`~repro.obs.ObsConfig` (each run gets its own
             collector) or a single unwired
             :class:`~repro.obs.Observability`.
@@ -119,6 +125,8 @@ class Session:
                  pmu: Optional[PMUConfig] = None,
                  detector: Optional[DetectorConfig] = None,
                  cheetah: Optional[CheetahConfig] = None,
+                 detector_mode: Optional[str] = None,
+                 adaptive: bool = False,
                  obs: Optional[Union[ObsConfig, Observability]] = None,
                  observer: Optional[Observer] = None,
                  check: bool = False):
@@ -159,6 +167,12 @@ class Session:
                 f"generator function, got {type(workload).__name__}")
         if detector is not None:
             cheetah = (cheetah or CheetahConfig()).replace(detector=detector)
+        if detector_mode is not None:
+            cheetah = (cheetah or CheetahConfig()).replace(
+                detector_mode=detector_mode)
+        if adaptive:
+            base = pmu or PMUConfig()
+            pmu = base.replace(adaptive=base.adaptive.replace(enabled=True))
         self.jitter_seed = jitter_seed
         self.machine = machine
         self.pmu = pmu

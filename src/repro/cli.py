@@ -41,8 +41,8 @@ from repro.baselines.predator import PredatorDetector
 from repro.baselines.sheriff import SheriffDetector
 from repro.config import CLIConfigs, build_configs
 from repro.experiments import (
-    assumptions, comparison, figure1, figure4, figure5, figure7, linesize,
-    parallel, scaling, synchronization, table1,
+    adaptive, assumptions, comparison, figure1, figure4, figure5, figure7,
+    linesize, parallel, scaling, synchronization, table1,
 )
 from repro.obs import aggregate_snapshots, pop_default, push_default
 from repro.run import run_workload
@@ -67,6 +67,7 @@ EXPERIMENTS = {
     "linesize": lambda args: linesize.run(scale=args.scale),
     "scaling": lambda args: scaling.run(scale=args.scale),
     "synchronization": lambda args: synchronization.run(),
+    "adaptive": lambda args: adaptive.run(scale=args.scale),
 }
 
 
@@ -150,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run under the coherence sanitizer (slow; "
                             "incompatible with --mode predict)")
 
+    def add_detector_args(p):
+        p.add_argument("--detector", choices=("offline", "windowed"),
+                       default=None,
+                       help="detection mode: 'offline' (default) builds "
+                            "the report from the whole run's samples; "
+                            "'windowed' additionally streams incremental "
+                            "findings mid-run (same end-of-run verdicts)")
+        p.add_argument("--adaptive", action="store_true",
+                       help="adaptive PMU sampling: tighten the period "
+                            "when a line turns hot, back off in quiet "
+                            "phases (--period sets the starting period)")
+
     def add_obs_flags(p):
         p.add_argument("--trace", metavar="FILE", default=None,
                        help="write a trace of the run to FILE (Chrome "
@@ -172,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="PMU sampling period in instructions")
     prof_p.add_argument("--true-sharing", action="store_true",
                         help="include true-sharing instances in the report")
+    add_detector_args(prof_p)
     add_obs_flags(prof_p)
 
     trace_p = sub.add_parser(
@@ -195,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "detector events)")
     trace_p.add_argument("--period", type=int, default=None,
                          help="PMU sampling period (implies --profile)")
+    add_detector_args(trace_p)
 
     met_p = sub.add_parser(
         "metrics", parents=[json_parent],
@@ -207,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "detector metrics)")
     met_p.add_argument("--period", type=int, default=None,
                        help="PMU sampling period (implies --profile)")
+    add_detector_args(met_p)
 
     pred_p = sub.add_parser(
         "predict", parents=[json_parent, cache_parent],
@@ -445,7 +461,8 @@ def cmd_profile(args) -> int:
 def cmd_trace(args) -> int:
     configs = build_configs(args)
     session = _session(args, configs)
-    profiled = args.profile or args.period is not None
+    profiled = (args.profile or args.period is not None
+                or args.detector is not None or args.adaptive)
     outcome = session.profile() if profiled else session.run()
     out = args.out or f"{args.workload}.trace.json"
     fmt = _trace_format(out, args.format)
@@ -474,7 +491,8 @@ def cmd_trace(args) -> int:
 def cmd_metrics(args) -> int:
     configs = build_configs(args)
     session = _session(args, configs)
-    profiled = args.profile or args.period is not None
+    profiled = (args.profile or args.period is not None
+                or args.detector is not None or args.adaptive)
     outcome = session.profile() if profiled else session.run()
     if args.json:
         text = json.dumps(outcome.metrics, indent=2, sort_keys=True) + "\n"

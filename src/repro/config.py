@@ -131,6 +131,7 @@ def build_configs(args: Any) -> CLIConfigs:
     # here), so importing them at module load would be circular.
     from repro.core.profiler import CheetahConfig
     from repro.obs.config import ObsConfig
+    from repro.pmu.adaptive import AdaptiveConfig
     from repro.pmu.sampler import PMUConfig
     from repro.sim.params import MachineConfig
 
@@ -183,9 +184,22 @@ def build_configs(args: Any) -> CLIConfigs:
             kernel=kernel if kernel is not None else defaults.kernel,
             mode=mode if mode is not None else defaults.mode)
 
-    pmu = PMUConfig(period=get("period")) if get("period") else None
+    pmu = None
+    adaptive = bool(get("adaptive", False))
+    if get("period") or adaptive:
+        defaults = PMUConfig()
+        kwargs: Dict[str, Any] = {}
+        if get("period"):
+            kwargs["period"] = get("period")
+        if adaptive:
+            line = line_size if line_size is not None else (
+                MachineConfig().cache_line_size)
+            kwargs["adaptive"] = AdaptiveConfig(enabled=True, line_size=line)
+        pmu = defaults.replace(**kwargs)
+    detector_mode = get("detector") or "offline"
     cheetah = CheetahConfig(
-        report_true_sharing=bool(get("true_sharing", False)))
+        report_true_sharing=bool(get("true_sharing", False)),
+        detector_mode=detector_mode)
 
     obs = None
     if want_trace or want_metrics:

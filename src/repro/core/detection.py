@@ -137,8 +137,17 @@ class FalseSharingDetector:
         # would leave false-sharing latency mis-attributed to the
         # "unrelated" remainder of each thread's cycles.
         self._pending: Dict[int, List[Tuple[int, bool, int, int, bool]]] = {}
+        # Last sample timestamp per pending line, for expiry/eviction.
+        self._pending_seen: Dict[int, int] = {}
         self.samples_seen = 0
         self.samples_recorded = 0
+        # Buffered samples discarded without ever reaching a detailed
+        # record: per-line cap overflow, idle-line expiry and
+        # oldest-line eviction all count here (surfaced in RunOutcome
+        # metrics as detector_samples_total{stage="dropped"}).
+        self.samples_dropped = 0
+        # Pending lines discarded wholesale by expiry or eviction.
+        self.pending_evicted = 0
         # Observability hook (set by CheetahProfiler.attach when the
         # engine is wired): notified when a line is promoted to detailed
         # tracking.
@@ -147,6 +156,16 @@ class FalseSharingDetector:
     # -- online path ---------------------------------------------------------
 
     _PENDING_CAP = 24
+    #: Hard bound on the number of lines buffering pre-threshold samples.
+    #: A sparse address space with millions of cold lines previously grew
+    #: ``_pending`` without limit; once this many lines are buffered the
+    #: oldest-seen quarter is evicted to make room.
+    _PENDING_LINES_CAP = 4096
+    #: A pending line idle for this many cycles is expired at the next
+    #: eviction pass — a line that has not produced a sample for this
+    #: long will not plausibly cross the detail threshold soon, and its
+    #: first few samples matter less and less to latency attribution.
+    _PENDING_WINDOW = 2_000_000
 
     def on_sample(self, sample: MemorySample, in_parallel_phase: bool) -> None:
         """Feed one PMU sample into the per-line state machine."""
@@ -162,17 +181,46 @@ class FalseSharingDetector:
                 self._detailed[line] = detail
                 if self.obs is not None:
                     self.obs.on_detector_promotion(line, count, sample)
+                self._pending_seen.pop(line, None)
                 for entry in self._pending.pop(line, ()):
                     self._apply(detail, *entry)
         detail = self._detailed.get(line)
         if detail is None:
-            pending = self._pending.setdefault(line, [])
+            pending = self._pending.get(line)
+            if pending is None:
+                if len(self._pending) >= self._PENDING_LINES_CAP:
+                    self._evict_pending(sample.timestamp)
+                pending = self._pending[line] = []
+            self._pending_seen[line] = sample.timestamp
             if len(pending) < self._PENDING_CAP:
                 pending.append((sample.tid, sample.is_write, word_offset,
                                 sample.latency, in_parallel_phase))
+            else:
+                self.samples_dropped += 1
             return
         self._apply(detail, sample.tid, sample.is_write, word_offset,
                     sample.latency, in_parallel_phase)
+
+    def _evict_pending(self, now: int) -> None:
+        """Bound ``_pending``: expire idle lines, then evict the oldest.
+
+        Called when a new cold line would push the buffered-line count
+        past ``_PENDING_LINES_CAP``. First drops every line that has been
+        idle longer than ``_PENDING_WINDOW``; if that frees nothing, the
+        oldest-seen quarter goes, so the amortised cost per insertion
+        stays logarithmic and the table size stays hard-bounded.
+        """
+        horizon = now - self._PENDING_WINDOW
+        stale = [line for line, seen in self._pending_seen.items()
+                 if seen <= horizon]
+        if len(self._pending) - len(stale) >= self._PENDING_LINES_CAP:
+            by_age = sorted(self._pending_seen, key=self._pending_seen.get)
+            need = max(1, self._PENDING_LINES_CAP // 4)
+            stale = by_age[:need]
+        for line in stale:
+            self.samples_dropped += len(self._pending.pop(line, ()))
+            self._pending_seen.pop(line, None)
+            self.pending_evicted += 1
 
     def _apply(self, detail: DetailedLine, tid: int, is_write: bool,
                word_offset: int, latency: int, in_parallel: bool) -> None:
@@ -254,7 +302,14 @@ class FalseSharingDetector:
                 }
                 touched[profile.key] = touched.get(profile.key, 0) + accesses
             if touched:
-                owner = max(touched, key=touched.get)
+                # Explicit tie-break on (accesses, kind, identifier):
+                # ``max(touched, key=touched.get)`` alone resolves ties by
+                # dict insertion order, which differs between the
+                # simulate, predict-profile and trace-replay feeding
+                # orders. Keys mix int and str identifiers (heap serials
+                # vs global names), so compare them as strings.
+                owner = max(touched,
+                            key=lambda k: (touched[k], k[0], str(k[1])))
                 profiles[owner].invalidations += detail.invalidations
                 if detail.invalidations >= minimum:
                     selected.add(owner)

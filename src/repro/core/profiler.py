@@ -31,7 +31,8 @@ from repro.core.assessment import (
 from repro.config import ConfigBase
 from repro.core.detection import DetectorConfig, FalseSharingDetector, SharingKind
 from repro.core.report import ObjectReport, render_report
-from repro.errors import ProfilerError
+from repro.core.streaming import StreamingConfig, StreamingDetector
+from repro.errors import ConfigError, ProfilerError
 from repro.pmu.sample import MemorySample
 from repro.sim.engine import Engine, RunResult
 
@@ -49,12 +50,26 @@ class CheetahConfig(ConfigBase):
             improvement").
         report_true_sharing: include true-sharing instances in the full
             report (they are never in the significant list).
+        detector_mode: ``"offline"`` (the classic whole-run detector) or
+            ``"windowed"`` (the :class:`StreamingDetector`, which emits
+            incremental findings mid-run while producing the identical
+            end-of-run report).
+        streaming: windowed-detector policy, used only when
+            ``detector_mode == "windowed"``.
     """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
     min_improvement: float = 1.01
     report_true_sharing: bool = False
+    detector_mode: str = "offline"
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+
+    def __post_init__(self) -> None:
+        if self.detector_mode not in ("offline", "windowed"):
+            raise ConfigError(
+                f"detector_mode must be 'offline' or 'windowed', "
+                f"got {self.detector_mode!r}")
 
 
 @dataclass
@@ -116,11 +131,19 @@ class CheetahProfiler:
         if self._engine is not None:
             raise ProfilerError("profiler is already attached")
         self._engine = engine
-        self.detector = FalseSharingDetector(
-            self.config.detector,
-            line_size=engine.config.cache_line_size,
-            word_size=engine.config.word_size,
-        )
+        if self.config.detector_mode == "windowed":
+            self.detector = StreamingDetector(
+                self.config.detector,
+                streaming=self.config.streaming,
+                line_size=engine.config.cache_line_size,
+                word_size=engine.config.word_size,
+            )
+        else:
+            self.detector = FalseSharingDetector(
+                self.config.detector,
+                line_size=engine.config.cache_line_size,
+                word_size=engine.config.word_size,
+            )
         self.detector.obs = getattr(engine, "obs", None)
         engine.pmu.install_handler(self.handle_sample)
 
@@ -157,6 +180,10 @@ class CheetahProfiler:
         """Assess every detected instance and build the end-of-run report."""
         if self._engine is None or self.detector is None:
             raise ProfilerError("profiler was never attached to an engine")
+        if isinstance(self.detector, StreamingDetector):
+            # Final sweep: emit any window that crossed its thresholds
+            # in the tail of the run after the last in-band flush.
+            self.detector.flush(result.runtime, force=True)
         return self._build_report(result.threads, result.phases,
                                   result.runtime)
 
@@ -206,7 +233,7 @@ class CheetahProfiler:
                                    self.config.assessment)
         sampling_period = None
         if engine.pmu is not None:
-            sampling_period = float(engine.pmu.config.period)
+            sampling_period = self._effective_period(engine.pmu, threads)
 
         profiles = self.detector.build_objects(engine.allocator,
                                                engine.symbols)
@@ -243,6 +270,32 @@ class CheetahProfiler:
             serial_samples=len(self._serial_latencies),
             total_samples=self._total_samples,
         )
+
+    @staticmethod
+    def _effective_period(pmu, threads) -> float:
+        """Scale factor from sampled volumes to real volumes.
+
+        A fixed-period run uses the configured period (matching the
+        paper's assessment, which multiplies sampled counts by the
+        period). Once the adaptive controller has retuned the live
+        period or the rotation schedule has discarded deliveries, the
+        configured value no longer describes the run; the observed rate
+        does: fires land once per ``total_instructions /
+        samples_fired`` instructions, and of the fires on memory
+        accesses only ``memory_samples`` out of ``memory_samples +
+        rotation_skipped`` were delivered.
+        """
+        if not (getattr(pmu, "period_changes", 0)
+                or getattr(pmu, "rotation_skipped", 0)):
+            return float(pmu.config.period)
+        total_instructions = sum(
+            getattr(t, "instructions", 0) for t in threads.values())
+        if not (total_instructions and pmu.samples_fired
+                and pmu.memory_samples):
+            return float(pmu.config.period)
+        memory_fires = pmu.memory_samples + pmu.rotation_skipped
+        return (total_instructions / pmu.samples_fired
+                * memory_fires / pmu.memory_samples)
 
     # -- introspection helpers (used by tests) ------------------------------------
 

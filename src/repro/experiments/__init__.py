@@ -17,6 +17,7 @@ and ``render()``.
 """
 
 from repro.experiments import (  # noqa: F401
+    adaptive,
     assumptions,
     comparison,
     figure1,

@@ -28,7 +28,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ObsError
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import CORE_TRACK_BASE, PHASE_TRACK, Tracer
+from repro.obs.tracer import (CORE_TRACK_BASE, DETECTOR_TRACK, PHASE_TRACK,
+                              Tracer)
 
 # Coherence outcome kinds that represent cross-core transitions; these
 # get instant events on the per-core tracks when trace_coherence is on.
@@ -81,6 +82,9 @@ class Observability:
             self._promotions = reg.counter(
                 "detector_promotions_total",
                 "Lines promoted to detailed tracking.")
+            self._streaming_findings = reg.counter(
+                "streaming_findings_total",
+                "Incremental findings emitted by the windowed detector.")
 
     # -- wiring ----------------------------------------------------------------
 
@@ -238,6 +242,17 @@ class Observability:
                            sample.timestamp, sample.tid,
                            {"line": line, "writes": writes})
 
+    def on_streaming_finding(self, finding: Any) -> None:
+        """The windowed detector emitted an incremental mid-run finding."""
+        if self.registry is not None:
+            self._streaming_findings.inc()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.name_track(DETECTOR_TRACK, "detector")
+            tracer.instant("streaming_finding", "detector",
+                           finding.timestamp, DETECTOR_TRACK,
+                           finding.to_dict())
+
     # -- finalization ----------------------------------------------------------
 
     def finalize(self, result: Any, pmu: Optional[Any] = None,
@@ -310,6 +325,23 @@ class Observability:
             overhead.inc(traps * pmu.config.trap_cost, "trap")
             reg.gauge("pmu_threads_armed",
                       "Threads the PMU was armed for.").set(pmu.threads_set_up)
+            if getattr(pmu, "period_changes", 0):
+                reg.counter(
+                    "pmu_period_changes_total",
+                    "Live sampling-period retunes during the run."
+                    ).inc(pmu.period_changes)
+                reg.gauge("pmu_period_current",
+                          "Sampling period at end of run.").set(pmu.period)
+            if getattr(pmu, "rotation_skipped", 0):
+                reg.counter(
+                    "pmu_rotation_skipped_total",
+                    "Memory fires discarded by the rotation schedule."
+                    ).inc(pmu.rotation_skipped)
+            controller = getattr(pmu, "controller", None)
+            if controller is not None:
+                reg.gauge("pmu_hot_lines",
+                          "Hot lines at the last adaptive evaluation."
+                          ).set(controller.hot_lines)
 
         detector = getattr(profiler, "detector", None)
         if detector is not None:
@@ -327,6 +359,16 @@ class Observability:
                 "Samples seen vs recorded in word detail.", label="stage")
             det_samples.inc(detector.samples_seen, "seen")
             det_samples.inc(detector.samples_recorded, "recorded")
+            det_samples.inc(getattr(detector, "samples_dropped", 0),
+                            "dropped")
+            findings = getattr(detector, "findings", None)
+            if findings is not None:
+                reg.gauge("streaming_window_lines",
+                          "Window entries live at end of run."
+                          ).set(len(detector._window))
+                reg.counter("streaming_windows_expired_total",
+                            "Window entries expired or evicted."
+                            ).inc(detector.windows_expired)
 
         if tracer is not None:
             reg.gauge("obs_trace_events_retained",

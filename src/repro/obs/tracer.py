@@ -36,6 +36,8 @@ PID = 1
 CORE_TRACK_BASE = 100_000
 #: Chrome track carrying serial/parallel phase spans.
 PHASE_TRACK = 99_999
+#: Chrome track carrying streaming-detector finding events.
+DETECTOR_TRACK = 99_998
 
 
 @dataclass(frozen=True)

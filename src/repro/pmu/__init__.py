@@ -1,6 +1,8 @@
 """Simulated performance-monitoring unit (AMD IBS / Intel PEBS analogue)."""
 
+from repro.pmu.adaptive import AdaptiveConfig, AdaptiveController
 from repro.pmu.sample import MemorySample
 from repro.pmu.sampler import PMU, PMUConfig
 
-__all__ = ["PMU", "PMUConfig", "MemorySample"]
+__all__ = ["PMU", "PMUConfig", "MemorySample",
+           "AdaptiveConfig", "AdaptiveController"]

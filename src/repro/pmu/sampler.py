@@ -22,11 +22,12 @@ strided loops cannot alias with the period.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.config import ConfigBase
 from repro.errors import ConfigError, SimulationError
+from repro.pmu.adaptive import AdaptiveConfig, AdaptiveController
 from repro.pmu.sample import MemorySample
 
 SampleHandler = Callable[[MemorySample], None]
@@ -48,6 +49,9 @@ class PMUConfig(ConfigBase):
         thread_setup_cost: cycles charged to each thread at start for
             programming the PMU registers.
         seed: base seed for per-thread jitter streams.
+        adaptive: adaptive-policy knobs (:class:`AdaptiveConfig`);
+            ``period`` is the *starting* period when the policy is
+            enabled, and the fixed period otherwise.
     """
 
     period: int = 128
@@ -56,6 +60,7 @@ class PMUConfig(ConfigBase):
     trap_cost: int = 5
     thread_setup_cost: int = 2_500
     seed: int = 0x5EED
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -73,10 +78,20 @@ class PMU:
                  handler: Optional[SampleHandler] = None):
         self.config = config or PMUConfig()
         self.handler = handler
+        # Live sampling period. Equals ``config.period`` forever unless
+        # an adaptive controller (or an explicit ``set_period`` call)
+        # retunes it mid-run; ``_next_period`` always reads this.
+        self.period = self.config.period
+        self.period_changes = 0
+        self.controller: Optional[AdaptiveController] = (
+            AdaptiveController(self, self.config.adaptive)
+            if self.config.adaptive.enabled else None)
         self._countdown: Dict[int, int] = {}
         self._rng: Dict[int, random.Random] = {}
         self.samples_fired = 0
         self.memory_samples = 0
+        # Memory fires whose sample the current rotation slot discarded.
+        self.rotation_skipped = 0
         self.threads_set_up = 0
         # Cycles this PMU charged to each thread (setup + handlers +
         # traps). The profiler can subtract its own overhead from
@@ -92,6 +107,18 @@ class PMU:
         """Install the callback invoked with every memory sample."""
         self.handler = handler
 
+    def set_period(self, period: int) -> None:
+        """Retune the live sampling period (floored at 1).
+
+        Takes effect at each thread's *next* fire — in-flight countdowns
+        keep their already-drawn period, exactly like reprogramming a
+        hardware counter that is already armed.
+        """
+        period = max(1, int(period))
+        if period != self.period:
+            self.period = period
+            self.period_changes += 1
+
     def on_thread_start(self, tid: int) -> int:
         """Arm sampling for a new thread; returns the setup cost in cycles."""
         rng = random.Random((self.config.seed << 17) ^ (tid * 0x9E3779B1))
@@ -106,6 +133,13 @@ class PMU:
                   latency: int, size: int, timestamp: int) -> int:
         """Account one memory instruction; returns extra cycles charged.
 
+        A fire with a handler installed (and whose sample the rotation
+        slot, if any, delivers) charges ``handler_cost`` and counts as a
+        memory sample. A fire with *no* handler — or one the rotation
+        slot discards — still takes the interrupt but drops the sample
+        at ``trap_cost``, like a fire on an event the hardware was not
+        programmed to decode; it counts as a trap, not a memory sample.
+
         Raises :class:`SimulationError` for a thread that was never armed
         via :meth:`on_thread_start` (a bare ``KeyError`` from the
         countdown table is useless at the engine boundary).
@@ -119,18 +153,32 @@ class PMU:
             return 0
         self._countdown[tid] = self._next_period(tid)
         self.samples_fired += 1
-        self.memory_samples += 1
-        if self.handler is not None:
+        controller = self.controller
+        delivered = self.handler is not None
+        if (delivered and controller is not None
+                and not controller.wants_sample(is_write, timestamp)):
+            delivered = False
+            self.rotation_skipped += 1
+        if delivered:
+            self.memory_samples += 1
+            cost = self.config.handler_cost
             self.handler(MemorySample(
                 tid=tid, core=core, addr=addr, is_write=is_write,
                 latency=latency, size=size, timestamp=timestamp,
             ))
+        else:
+            cost = self.config.trap_cost
         self.overhead_by_tid[tid] = (self.overhead_by_tid.get(tid, 0)
-                                     + self.config.handler_cost)
+                                     + cost)
+        if controller is not None:
+            controller.on_fire(addr, timestamp)
         if self.obs is not None:
-            self.obs.on_pmu_sample(tid, core, addr, is_write,
-                                   self.config.handler_cost, timestamp)
-        return self.config.handler_cost
+            if delivered:
+                self.obs.on_pmu_sample(tid, core, addr, is_write, cost,
+                                       timestamp)
+            else:
+                self.obs.on_pmu_trap(tid, 1, cost, timestamp)
+        return cost
 
     def on_work(self, tid: int, instructions: int,
                 now: Optional[int] = None) -> int:
@@ -167,10 +215,11 @@ class PMU:
             "was never called")
 
     def _next_period(self, tid: int) -> int:
-        cfg = self.config
-        if cfg.jitter == 0.0:
-            return cfg.period
-        spread = int(cfg.period * cfg.jitter)
+        period = self.period
+        jitter = self.config.jitter
+        if jitter == 0.0:
+            return period
+        spread = int(period * jitter)
         if spread == 0:
-            return cfg.period
-        return cfg.period + self._rng[tid].randint(-spread, spread)
+            return period
+        return period + self._rng[tid].randint(-spread, spread)

@@ -135,6 +135,12 @@ class RunOutcome:
     #: not rehydrated. Not serialized; rehydrated predictions read as
     #: cached (their ``predicted`` metadata survives).
     fresh_prediction: bool = False
+    #: Live PMU / profiler of a freshly simulated cheetah run (for
+    #: inspecting sampling state — adaptive period history, streaming
+    #: findings). ``None`` on native, cached and predicted outcomes;
+    #: never serialized.
+    pmu: Optional[Any] = None
+    profiler: Optional[Any] = None
 
     @property
     def runtime(self) -> int:
@@ -331,7 +337,8 @@ def run_workload(workload: Workload, *,
     report = profiler.finalize(result) if profiler else None
     if observability is not None:
         observability.finalize(result, pmu=pmu, profiler=profiler)
-    return RunOutcome(result=result, report=report, obs=observability)
+    return RunOutcome(result=result, report=report, obs=observability,
+                      pmu=pmu, profiler=profiler)
 
 
 def _run_analytical(workload, config, jitter_seed, pmu_config,

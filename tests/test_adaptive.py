@@ -1,0 +1,360 @@
+"""Tests for adaptive PMU sampling: config validation, the controller's
+tighten/backoff/rotation policy, live-period PMU semantics, the
+unhandled-fire fix, overhead conservation under the sanitizer, and the
+end-to-end experiment plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pmu.adaptive import ROTATION_MODES, AdaptiveConfig, AdaptiveController
+from repro.pmu.sampler import PMU, PMUConfig
+
+
+def make_pmu(period=100, adaptive=None, jitter=0.0, **kw):
+    cfg = PMUConfig(period=period, jitter=jitter,
+                    adaptive=adaptive or AdaptiveConfig(), **kw)
+    return PMU(cfg)
+
+
+def fire_line(controller, line, count, start=0, step=10):
+    """Feed ``count`` fires on one cache line, timestamps advancing."""
+    for i in range(count):
+        controller.on_fire(line * 64, start + i * step)
+
+
+class TestConfig:
+    def test_defaults_valid_and_disabled(self):
+        cfg = AdaptiveConfig()
+        assert not cfg.enabled
+        assert cfg.min_period <= cfg.max_period
+
+    def test_rotation_normalized_to_tuple(self):
+        cfg = AdaptiveConfig(rotation=["all", "write"])
+        assert cfg.rotation == ("all", "write")
+        assert isinstance(cfg.rotation, tuple)
+
+    @pytest.mark.parametrize("kw", [
+        {"min_period": 0},
+        {"min_period": 200, "max_period": 100},
+        {"hot_line_samples": 0}, {"window": 0},
+        {"evaluate_interval": 0},
+        {"tighten_factor": 0.0}, {"tighten_factor": 1.5},
+        {"backoff_factor": 0.5},
+        {"rotation": ()}, {"rotation": ("all", "bogus")},
+        {"rotate_interval": 0},
+        {"line_size": 48},
+    ])
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(**kw)
+
+    def test_rotation_modes_cover_config(self):
+        for mode in ROTATION_MODES:
+            AdaptiveConfig(rotation=(mode,))
+
+
+class TestController:
+    def make(self, **kw):
+        kw.setdefault("enabled", True)
+        kw.setdefault("min_period", 25)
+        kw.setdefault("max_period", 400)
+        kw.setdefault("hot_line_samples", 3)
+        kw.setdefault("window", 1000)
+        kw.setdefault("evaluate_interval", 100)
+        pmu = make_pmu(period=100, adaptive=AdaptiveConfig(**kw))
+        assert pmu.controller is not None
+        return pmu, pmu.controller
+
+    def test_hot_line_tightens(self):
+        pmu, ctl = self.make()
+        fire_line(ctl, 5, 10)               # 10 fires by t=90, eval at t>=100
+        ctl.on_fire(5 * 64, 120)
+        assert pmu.period == 50             # 100 * 0.5
+        assert ctl.tightenings == 1
+        assert ctl.history == [(120, 50)]
+
+    def test_tighten_floors_at_min_period(self):
+        pmu, ctl = self.make()
+        for round_start in (0, 200, 400, 600):
+            fire_line(ctl, 5, 15, start=round_start, step=10)
+        assert pmu.period == 25
+        assert all(p >= 25 for _, p in ctl.history)
+
+    def test_quiet_phase_backs_off(self):
+        pmu, ctl = self.make()
+        # Touch many distinct lines once each: none turns hot.
+        for i in range(20):
+            ctl.on_fire(i * 64 * 7, i * 10)
+        assert pmu.period == 200            # 100 * 2.0
+        assert ctl.backoffs >= 1
+
+    def test_backoff_caps_at_max_period(self):
+        pmu, ctl = self.make()
+        for i in range(200):
+            ctl.on_fire(i * 64 * 7, i * 10)
+        assert pmu.period == 400
+        assert all(p <= 400 for _, p in ctl.history)
+
+    def test_idle_line_count_resets_past_window(self):
+        _, ctl = self.make(window=100)
+        ctl.on_fire(5 * 64, 0)
+        ctl.on_fire(5 * 64, 50)             # within window: count grows
+        assert ctl._hits[5][0] == 2
+        ctl.on_fire(5 * 64, 500)            # past window: fresh count
+        assert ctl._hits[5][0] == 1
+
+    def test_stale_lines_pruned_at_evaluation(self):
+        _, ctl = self.make(window=100, evaluate_interval=10_000)
+        ctl.on_fire(5 * 64, 0)
+        ctl.on_fire(6 * 64, 10)
+        ctl.on_fire(7 * 64, 11_000)         # triggers evaluation
+        assert 5 not in ctl._hits
+        assert 6 not in ctl._hits
+        assert 7 in ctl._hits
+
+    def test_deterministic(self):
+        def history():
+            _, ctl = self.make()
+            for i in range(300):
+                ctl.on_fire((i % 3) * 64, i * 7)
+            return ctl.history
+        assert history() == history()
+
+
+class TestRotation:
+    def make(self, rotation, rotate_interval=100):
+        cfg = AdaptiveConfig(enabled=True, rotation=rotation,
+                             rotate_interval=rotate_interval)
+        pmu = make_pmu(period=50, adaptive=cfg)
+        return pmu.controller
+
+    def test_single_slot_always_delivers(self):
+        ctl = self.make(("all",))
+        for now in (0, 99, 100, 10**6):
+            assert ctl.wants_sample(True, now)
+            assert ctl.wants_sample(False, now)
+
+    def test_schedule_cycles_through_slots(self):
+        ctl = self.make(("all", "write", "read"))
+        assert ctl.current_mode(0) == "all"
+        assert ctl.current_mode(100) == "write"
+        assert ctl.current_mode(250) == "read"
+        assert ctl.current_mode(300) == "all"
+
+    def test_write_slot_gates_reads(self):
+        ctl = self.make(("write",))
+        assert ctl.wants_sample(True, 0)
+        assert not ctl.wants_sample(False, 0)
+
+    def test_read_slot_gates_writes(self):
+        ctl = self.make(("read",))
+        assert not ctl.wants_sample(True, 0)
+        assert ctl.wants_sample(False, 0)
+
+
+class TestPMUPeriod:
+    def test_set_period_floors_at_one(self):
+        pmu = make_pmu()
+        pmu.set_period(0)
+        assert pmu.period == 1
+
+    def test_set_period_counts_only_real_changes(self):
+        pmu = make_pmu(period=100)
+        pmu.set_period(100)
+        assert pmu.period_changes == 0
+        pmu.set_period(50)
+        pmu.set_period(50)
+        assert pmu.period_changes == 1
+
+    def test_live_period_drives_next_fire(self):
+        pmu = make_pmu(period=100)
+        pmu.on_thread_start(1)
+        pmu.set_period(3)
+        # Drain the already-armed countdown (drawn at period 100)...
+        fired = 0
+        for _ in range(100):
+            if pmu.on_access(1, 0, 0, True, 1, 4, 0):
+                fired += 1
+                break
+        assert fired == 1
+        # ...after which fires come every 3 instructions.
+        costs = [pmu.on_access(1, 0, 0, True, 1, 4, 0) for _ in range(9)]
+        assert sum(1 for c in costs if c) == 3
+
+    def test_config_period_untouched_by_retune(self):
+        pmu = make_pmu(period=100)
+        pmu.set_period(7)
+        assert pmu.config.period == 100
+
+
+class TestRotationDelivery:
+    def make(self):
+        cfg = AdaptiveConfig(enabled=True, rotation=("write",),
+                             rotate_interval=10**9,
+                             evaluate_interval=10**9)
+        pmu = make_pmu(period=2, adaptive=cfg, handler_cost=30, trap_cost=7)
+        pmu.install_handler(lambda s: None)
+        pmu.on_thread_start(1)
+        return pmu
+
+    def test_gated_fire_is_a_trap(self):
+        pmu = self.make()
+        # Reads only: every fire lands in the write slot and is skipped.
+        for i in range(10):
+            pmu.on_access(1, 0, 0, False, 1, 4, i)
+        assert pmu.samples_fired == 5
+        assert pmu.memory_samples == 0
+        assert pmu.rotation_skipped == 5
+        assert pmu.overhead_by_tid[1] == 2_500 + 5 * 7
+
+    def test_matching_fire_delivers(self):
+        pmu = self.make()
+        for i in range(10):
+            pmu.on_access(1, 0, 0, True, 1, 4, i)
+        assert pmu.memory_samples == 5
+        assert pmu.rotation_skipped == 0
+        assert pmu.overhead_by_tid[1] == 2_500 + 5 * 30
+
+    def test_conservation_with_rotation(self):
+        # rotation_skipped fires must read as traps to the sanitizer's
+        # overhead-conservation law.
+        from repro.sim.machine import Machine
+        from repro.sim.params import MachineConfig
+        pmu = self.make()
+        for i in range(50):
+            pmu.on_access(1, 0, 0, bool(i % 2), 1, 4, i)
+        Machine(MachineConfig(), check=True).sanitizer.check_pmu(pmu)
+
+
+class TestEffectivePeriod:
+    class _Thread:
+        def __init__(self, instructions):
+            self.instructions = instructions
+
+    def make_profiler(self):
+        from repro.core.profiler import CheetahProfiler
+        return CheetahProfiler()
+
+    def test_fixed_run_uses_configured_period(self):
+        prof = self.make_profiler()
+        pmu = make_pmu(period=128)
+        pmu.samples_fired = 100
+        pmu.memory_samples = 60
+        threads = {1: self._Thread(10_000)}
+        assert prof._effective_period(pmu, threads) == 128.0
+
+    def test_retuned_run_uses_observed_rate(self):
+        prof = self.make_profiler()
+        pmu = make_pmu(period=128)
+        pmu.set_period(64)
+        pmu.samples_fired = 100
+        pmu.memory_samples = 50
+        threads = {1: self._Thread(8_000), 2: self._Thread(2_000)}
+        # 10_000 instructions / 100 fires = 100 per fire; no rotation.
+        assert prof._effective_period(pmu, threads) == pytest.approx(100.0)
+
+    def test_rotation_scales_for_discarded_deliveries(self):
+        prof = self.make_profiler()
+        pmu = make_pmu(period=128)
+        pmu.samples_fired = 100
+        pmu.memory_samples = 25
+        pmu.rotation_skipped = 25
+        threads = {1: self._Thread(10_000)}
+        # Of the memory fires only half were delivered: each delivered
+        # sample stands for twice as many instructions.
+        assert prof._effective_period(pmu, threads) == pytest.approx(200.0)
+
+    def test_degenerate_counts_fall_back_to_config(self):
+        prof = self.make_profiler()
+        pmu = make_pmu(period=128)
+        pmu.set_period(64)          # retuned, but no fires at all
+        assert prof._effective_period(pmu, {}) == 128.0
+
+
+class TestEndToEnd:
+    def run_adaptive(self, check=False):
+        from repro.core.profiler import CheetahConfig
+        from repro.run import run_workload
+        from repro.workloads.base import get_workload
+
+        cls = get_workload("array_increment")
+        pmu_config = PMUConfig(period=256,
+                               adaptive=AdaptiveConfig(enabled=True))
+        return run_workload(cls(num_threads=4, scale=0.5),
+                            jitter_seed=11, with_cheetah=True,
+                            pmu_config=pmu_config,
+                            cheetah_config=CheetahConfig(
+                                detector_mode="windowed"),
+                            check=check)
+
+    def test_adaptive_run_detects_and_retunes(self):
+        outcome = self.run_adaptive()
+        assert outcome.report.significant
+        assert outcome.pmu.period_changes > 0
+        assert outcome.pmu.controller.history
+        assert outcome.pmu.controller.tightenings > 0
+
+    def test_adaptive_run_survives_sanitizer(self):
+        outcome = self.run_adaptive(check=True)
+        assert outcome.report.significant
+
+    def test_adaptive_runs_deterministic(self):
+        first = self.run_adaptive()
+        second = self.run_adaptive()
+        assert first.runtime == second.runtime
+        assert first.pmu.controller.history == second.pmu.controller.history
+
+    def test_metrics_surface_period_changes(self):
+        from repro.core.profiler import CheetahConfig
+        from repro.obs import ObsConfig
+        from repro.run import run_workload
+        from repro.workloads.base import get_workload
+
+        cls = get_workload("array_increment")
+        outcome = run_workload(
+            cls(num_threads=4, scale=0.5), jitter_seed=11,
+            with_cheetah=True,
+            pmu_config=PMUConfig(period=256,
+                                 adaptive=AdaptiveConfig(enabled=True)),
+            cheetah_config=CheetahConfig(detector_mode="windowed"),
+            obs=ObsConfig(trace=False, metrics=True))
+        counters = outcome.metrics["counters"]
+        assert counters["pmu_period_changes_total"] > 0
+        assert counters["pmu_period_changes_total"] == \
+            outcome.pmu.period_changes
+        gauges = outcome.metrics["gauges"]
+        assert gauges["pmu_period_current"] == outcome.pmu.period
+        assert "pmu_hot_lines" in gauges
+
+
+class TestExperiment:
+    def test_small_matrix_smoke(self):
+        from repro.experiments import adaptive as exp
+
+        policies = {
+            "fixed-128": PMUConfig(period=128),
+            "adaptive": PMUConfig(
+                period=256, adaptive=AdaptiveConfig(enabled=True)),
+        }
+        result = exp.run(scale=1.0, jitter_seed=11,
+                         workloads=[("array_increment", 4, 0.5),
+                                    ("histogram", 4, 0.5)],
+                         policies=policies)
+        assert result.policies() == ["fixed-128", "adaptive"]
+        assert result.truth["array_increment"] is True
+        assert result.truth["histogram"] is False
+        for policy in result.policies():
+            name, overhead, recall, false_pos, samples, early = \
+                result.summary(policy)
+            assert overhead > 0
+            assert recall == 1.0
+            assert false_pos == 0
+            assert samples > 0
+        rendered = result.render()
+        assert "fixed-128" in rendered and "adaptive" in rendered
+        payload = result.to_dict()
+        assert set(payload["policies"]) == {"fixed-128", "adaptive"}
+        adaptive_cells = result.cells_for("adaptive")
+        assert any(c.period_changes > 0 for c in adaptive_cells)
+        assert all(c.findings > 0 for c in adaptive_cells
+                   if result.truth[c.workload])

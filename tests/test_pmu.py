@@ -59,6 +59,7 @@ class TestSampling:
 
     def test_handler_cost_charged_on_fire_only(self):
         pmu = make(period=10, handler_cost=77)
+        pmu.install_handler(lambda s: None)
         pmu.on_thread_start(1)
         costs = [pmu.on_access(1, 0, 0, False, 3, 4, 0) for _ in range(10)]
         assert costs.count(0) == 9
@@ -89,12 +90,18 @@ class TestSampling:
             fired += bool(pmu.on_access(2, 0, 0, False, 3, 4, 0))
         assert fired == 0
 
-    def test_no_handler_still_counts(self):
-        pmu = make(period=2)
+    def test_no_handler_fire_is_a_trap(self):
+        # A fire with no handler installed takes the interrupt but
+        # discards the sample: trap cost, no memory sample, no
+        # handler_cost charged (this used to count memory_samples and
+        # charge handler_cost for a sample nobody received).
+        pmu = make(period=2, handler_cost=77, trap_cost=9)
         pmu.on_thread_start(1)
-        pmu.on_access(1, 0, 0, False, 3, 4, 0)
-        pmu.on_access(1, 0, 0, False, 3, 4, 0)
-        assert pmu.memory_samples == 1
+        assert pmu.on_access(1, 0, 0, False, 3, 4, 0) == 0
+        assert pmu.on_access(1, 0, 0, False, 3, 4, 0) == 9
+        assert pmu.samples_fired == 1
+        assert pmu.memory_samples == 0
+        assert pmu.overhead_by_tid[1] == 1000 + 9
 
 
 class TestJitter:
