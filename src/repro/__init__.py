@@ -21,16 +21,21 @@ The package layers:
 - ``repro.service`` — the persistent run service (content-addressed
   result cache + resilient job scheduler).
 
-Public API (v1)
+Public API (v2)
 ---------------
 
-``__all__`` below is the frozen v1 surface (``repro.__api_version__``),
-pinned by ``tests/test_public_api.py`` and documented in ``docs/api.md``:
-the session front door, the canonical runner and its outcome/config
-types, the error root, and the run-service entry points. Everything else
-is internal. The pre-v1 names (``profile``, ``run_plain``, and the raw
-substrate classes that used to leak through this module) still import
-but emit :class:`DeprecationWarning` via the module ``__getattr__``.
+``__all__`` below is the frozen v2 surface (``repro.__api_version__``),
+pinned by ``tests/test_public_api.py`` and documented in ``docs/api.md``.
+v2 is a strict superset of v1 — nothing was removed. New in v2: the
+unified :class:`~repro.request.RunRequest` front door (one object
+collapsing the kernel/mode/detector selection knobs every layer used to
+re-assemble), the streaming detector types, the analytical entry points
+(``predict_outcome`` / ``sampled_outcome``), and the serve-daemon pieces
+(:class:`~repro.service.daemon.ServeConfig`,
+:class:`~repro.service.sink.FindingsSink`). Everything else is internal.
+The pre-v1 names (``profile``, ``run_plain``, and the raw substrate
+classes that used to leak through this module) still import but emit
+:class:`DeprecationWarning` via the module ``__getattr__``.
 """
 
 from __future__ import annotations
@@ -41,9 +46,16 @@ from typing import Any, List, Optional, Tuple
 from repro.api import Session
 from repro.core.detection import DetectorConfig
 from repro.core.profiler import CheetahConfig, CheetahReport
+from repro.core.streaming import (
+    StreamingConfig,
+    StreamingDetector,
+    StreamingFinding,
+)
 from repro.errors import ReproError
 from repro.obs import ObsConfig
 from repro.pmu.sampler import PMUConfig
+from repro.predict import predict_outcome, sampled_outcome
+from repro.request import RunRequest
 from repro.run import DEFAULT_SEEDS, RunOutcome, RunSummary, run_workload
 from repro.service import (
     JobFailure,
@@ -55,19 +67,22 @@ from repro.service import (
     default_cache_dir,
     using_service,
 )
+from repro.service.daemon import ServeConfig
+from repro.service.sink import FindingsSink
 from repro.sim.params import LatencyModel, MachineConfig
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 #: Version of the frozen public surface below (not the package version).
 #: Bumped only when a name is added to or removed from ``__all__``.
-__api_version__ = 1
+__api_version__ = 2
 
 __all__ = [
     "CheetahConfig",
     "CheetahReport",
     "DEFAULT_SEEDS",
     "DetectorConfig",
+    "FindingsSink",
     "JobFailure",
     "LatencyModel",
     "MachineConfig",
@@ -76,14 +91,21 @@ __all__ = [
     "ReproError",
     "ResultStore",
     "RunOutcome",
+    "RunRequest",
     "RunService",
     "RunSpec",
     "RunSummary",
     "Scheduler",
+    "ServeConfig",
     "Session",
+    "StreamingConfig",
+    "StreamingDetector",
+    "StreamingFinding",
     "cached_run",
     "default_cache_dir",
+    "predict_outcome",
     "run_workload",
+    "sampled_outcome",
     "using_service",
     "__api_version__",
     "__version__",
@@ -172,8 +194,8 @@ def __getattr__(name: str) -> Any:
     if name in _DEPRECATED:
         loader, hint = _DEPRECATED[name]
         warnings.warn(
-            f"repro.{name} is not part of the frozen v1 API and will be "
-            f"removed; {hint}",
+            f"repro.{name} is not part of the frozen v{__api_version__} "
+            f"API and will be removed; {hint}",
             DeprecationWarning, stacklevel=2)
         return loader()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

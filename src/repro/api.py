@@ -183,6 +183,27 @@ class Session:
         self._run_outcome: Optional[RunOutcome] = None
         self._profile_outcome: Optional[RunOutcome] = None
 
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_request(cls, request: Any, *,
+                     obs: Optional[Union[ObsConfig, Observability]] = None,
+                     observer: Optional[Observer] = None,
+                     check: bool = False) -> "Session":
+        """A session configured from a :class:`repro.request.RunRequest`.
+
+        The v2 front door: the request carries every selection knob
+        (kernel, mode, detector, sampling) in one object; observation
+        concerns (``obs``/``observer``/``check``) stay per-session
+        because they are not part of a run's content-addressed identity.
+        """
+        from repro.request import RunRequest
+        if not isinstance(request, RunRequest):
+            raise ConfigError(
+                f"Session.from_request expects a RunRequest, "
+                f"got {type(request).__name__}")
+        return request.session(obs=obs, observer=observer, check=check)
+
     # -- execution -------------------------------------------------------------
 
     def run(self) -> RunOutcome:

@@ -338,6 +338,47 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("--max-age", type=float, default=None,
                          metavar="SECONDS",
                          help="gc: evict entries older than this")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the detection daemon: HTTP job API over the result "
+             "store, streaming findings, cross-run findings sink")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8137,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8137)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="job worker threads (default: 2)")
+    serve_p.add_argument("--max-queue", type=int, default=64,
+                         help="queued-job bound; a full queue answers "
+                              "429 (default: 64)")
+    serve_p.add_argument("--rate", type=float, default=0.0,
+                         help="global submissions/second; 0 disables "
+                              "rate limiting (default: 0)")
+    serve_p.add_argument("--burst", type=float, default=8.0,
+                         help="global burst capacity (default: 8)")
+    serve_p.add_argument("--tenant-rate", type=float, default=0.0,
+                         help="per-tenant submissions/second; 0 disables "
+                              "(default: 0)")
+    serve_p.add_argument("--tenant-burst", type=float, default=4.0,
+                         help="per-tenant burst capacity (default: 4)")
+    serve_p.add_argument("--tenant-max-pending", type=int, default=0,
+                         help="per-tenant cap on queued+running jobs; "
+                              "0 disables (default: 0)")
+    serve_p.add_argument("--tenants", default=None, metavar="A,B,...",
+                         help="tenant allowlist (comma separated); "
+                              "unknown tenants get 403 "
+                              "(default: accept everyone)")
+    serve_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="result store location (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_p.add_argument("--sink-dir", metavar="DIR", default=None,
+                         help="findings sink location (default: "
+                              "<cache-dir>/sink)")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds shutdown waits for in-flight "
+                              "jobs (default: 30)")
     return parser
 
 
@@ -789,6 +830,37 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.errors import ConfigError, ServiceError
+    from repro.service.daemon import Daemon, ServeConfig
+    tenants = tuple(
+        name.strip() for name in (args.tenants or "").split(",")
+        if name.strip())
+    # Startup failures (bad knobs, port in use) are operator errors:
+    # one diagnostic line and exit 2, never a traceback.
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+            tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+            tenant_max_pending=args.tenant_max_pending, tenants=tenants,
+            cache_dir=args.cache_dir, sink_dir=args.sink_dir,
+            drain_timeout=args.drain_timeout)
+        daemon = Daemon(config)
+    except (ConfigError, ServiceError, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro serve: listening on http://{config.host}:{daemon.port}",
+          file=sys.stderr, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down (draining jobs)...",
+              file=sys.stderr, flush=True)
+    daemon.shutdown()
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -802,6 +874,7 @@ COMMANDS = {
     "validate": cmd_validate,
     "bench": cmd_bench,
     "cache": cmd_cache,
+    "serve": cmd_serve,
 }
 
 

@@ -116,6 +116,9 @@ class CLIConfigs:
     cache_dir: Optional[str] = None  # None: repro.service.default_cache_dir
     jobs: Optional[int] = None
     check: bool = False  # run under the coherence sanitizer
+    #: The unified :class:`repro.request.RunRequest` the configs above
+    #: were derived from; None for subcommands without a workload.
+    request: Optional[Any] = None
 
 
 def build_configs(args: Any) -> CLIConfigs:
@@ -129,11 +132,8 @@ def build_configs(args: Any) -> CLIConfigs:
     # Local imports: this module sits below the config-owning packages in
     # the import graph (sim.params and friends import ConfigBase from
     # here), so importing them at module load would be circular.
-    from repro.core.profiler import CheetahConfig
     from repro.obs.config import ObsConfig
-    from repro.pmu.adaptive import AdaptiveConfig
-    from repro.pmu.sampler import PMUConfig
-    from repro.sim.params import MachineConfig
+    from repro.request import RunRequest
 
     def get(name: str, default: Any = None) -> Any:
         return getattr(args, name, default)
@@ -144,7 +144,6 @@ def build_configs(args: Any) -> CLIConfigs:
         "fixed": bool(get("fixed", False)),
     }
 
-    machine = None
     line_size = get("line_size")
     cores = get("cores")
     kernel = get("kernel")
@@ -174,32 +173,34 @@ def build_configs(args: Any) -> CLIConfigs:
                 "predicted runs have no full simulation timeline to "
                 "observe; use --mode simulate")
 
-    if (line_size is not None or cores is not None or kernel is not None
-            or mode is not None):
-        defaults = MachineConfig()
-        machine = MachineConfig(
-            num_cores=cores if cores is not None else defaults.num_cores,
-            cache_line_size=(line_size if line_size is not None
-                             else defaults.cache_line_size),
-            kernel=kernel if kernel is not None else defaults.kernel,
-            mode=mode if mode is not None else defaults.mode)
-
-    pmu = None
-    adaptive = bool(get("adaptive", False))
-    if get("period") or adaptive:
-        defaults = PMUConfig()
-        kwargs: Dict[str, Any] = {}
-        if get("period"):
-            kwargs["period"] = get("period")
-        if adaptive:
-            line = line_size if line_size is not None else (
-                MachineConfig().cache_line_size)
-            kwargs["adaptive"] = AdaptiveConfig(enabled=True, line_size=line)
-        pmu = defaults.replace(**kwargs)
-    detector_mode = get("detector") or "offline"
-    cheetah = CheetahConfig(
-        report_true_sharing=bool(get("true_sharing", False)),
-        detector_mode=detector_mode)
+    # Every selection knob funnels through one RunRequest; the configs
+    # below are *derived* from it, so the CLI, Session, RunService and
+    # the serve daemon's HTTP body all resolve knobs identically.
+    # Subcommands without a workload (experiment, cache, ...) share the
+    # derivation through a placeholder request that is not exposed.
+    workload = get("workload")
+    command = get("command")
+    request = RunRequest(
+        workload=workload if isinstance(workload, str) and workload else "_",
+        threads=workload_kwargs["num_threads"],
+        scale=workload_kwargs["scale"],
+        fixed=workload_kwargs["fixed"],
+        seed=0,
+        jitter_seed=get("seed", 0xC0FFEE),
+        profile=(bool(get("profile", False))
+                 or command in ("profile", "predict")),
+        kernel=kernel,
+        mode=mode,
+        detector=get("detector"),
+        adaptive=bool(get("adaptive", False)),
+        period=get("period") or None,
+        true_sharing=bool(get("true_sharing", False)),
+        line_size=line_size,
+        cores=cores,
+    )
+    machine = request.machine_config()
+    pmu = request.pmu_config()
+    cheetah = request.cheetah_config()
 
     obs = None
     if want_trace or want_metrics:
@@ -221,4 +222,5 @@ def build_configs(args: Any) -> CLIConfigs:
         cache_dir=get("cache_dir"),
         jobs=get("jobs"),
         check=check,
+        request=request if request.workload != "_" else None,
     )

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import ConfigBase
 from repro.core.detection import DetectorConfig, FalseSharingDetector
 from repro.errors import ConfigError
+from repro.obs.hooks import current_finding_listeners
 from repro.pmu.sample import MemorySample
 
 
@@ -202,6 +203,9 @@ class StreamingDetector(FalseSharingDetector):
         self.findings.append(finding)
         if self.obs is not None:
             self.obs.on_streaming_finding(finding)
+        listeners = current_finding_listeners()
+        for listener in listeners:
+            listener(finding)
 
     def flush(self, now: int, force: bool = False) -> None:
         """Expire idle window entries; with ``force`` (end of run),

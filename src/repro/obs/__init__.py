@@ -15,8 +15,12 @@ from repro.obs.hooks import (
     DefaultObs,
     Observability,
     current_default,
+    current_finding_listeners,
+    finding_listener,
     pop_default,
+    pop_finding_listener,
     push_default,
+    push_finding_listener,
 )
 from repro.obs.metrics import (
     Counter,
@@ -48,6 +52,10 @@ __all__ = [
     "Tracer",
     "aggregate_snapshots",
     "current_default",
+    "current_finding_listeners",
+    "finding_listener",
     "pop_default",
+    "pop_finding_listener",
     "push_default",
+    "push_finding_listener",
 ]

@@ -23,7 +23,9 @@ experiment's signature.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import contextvars
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ObsError
 from repro.obs.config import ObsConfig
@@ -442,3 +444,53 @@ def pop_default() -> DefaultObs:
 
 def current_default() -> Optional[DefaultObs]:
     return _DEFAULT_STACK[-1] if _DEFAULT_STACK else None
+
+
+# -- context-local streaming-finding listeners -----------------------------------
+#
+# The serve daemon needs mid-run findings from the windowed detector
+# *without* attaching an Observability to the run — observed runs bypass
+# the result cache by design, and the daemon's whole point is cache-first
+# execution. Listeners live in a contextvars stack instead: per-thread
+# (each daemon worker runs jobs inline in its own thread), zero-cost when
+# empty, and invisible to the run's content-addressed identity. The
+# windowed detector calls every active listener alongside its obs hook.
+
+_FINDING_LISTENERS: contextvars.ContextVar[Tuple[Callable[[Any], None], ...]] \
+    = contextvars.ContextVar("repro_finding_listeners", default=())
+
+
+def current_finding_listeners() -> Tuple[Callable[[Any], None], ...]:
+    """The active listeners for this thread/context (usually empty)."""
+    return _FINDING_LISTENERS.get()
+
+
+def push_finding_listener(
+        listener: Callable[[Any], None]) -> contextvars.Token:
+    """Register ``listener`` for streaming findings in this context.
+
+    Returns the token for :func:`pop_finding_listener`. Each listener is
+    called with the live :class:`~repro.core.streaming.StreamingFinding`
+    the moment the windowed detector emits it.
+    """
+    if not callable(listener):
+        raise ObsError(
+            f"push_finding_listener expects a callable, got "
+            f"{type(listener).__name__}")
+    stack = _FINDING_LISTENERS.get()
+    return _FINDING_LISTENERS.set(stack + (listener,))
+
+
+def pop_finding_listener(token: contextvars.Token) -> None:
+    _FINDING_LISTENERS.reset(token)
+
+
+@contextmanager
+def finding_listener(
+        listener: Callable[[Any], None]) -> Iterator[Callable[[Any], None]]:
+    """``with finding_listener(fn): ...`` — scoped registration."""
+    token = push_finding_listener(listener)
+    try:
+        yield listener
+    finally:
+        pop_finding_listener(token)

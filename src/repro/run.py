@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.profiler import CheetahConfig, CheetahProfiler, CheetahReport
 from repro.errors import SchemaError
@@ -36,7 +36,14 @@ DEFAULT_SEEDS: Tuple[int, ...] = (11, 22, 33)
 #: :meth:`RunOutcome.to_dict` changes incompatibly; the result store
 #: folds this number into its content hashes, so a bump naturally
 #: invalidates every cached entry instead of mis-decoding it.
-SCHEMA_VERSION = 1
+#:
+#: v2 (the service PR) adds the top-level ``tenant`` and
+#: ``streaming_findings`` fields; v1 payloads still rehydrate (tenant
+#: ``None``, no findings).
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`RunOutcome.from_dict` can still rehydrate.
+READABLE_SCHEMA_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -141,6 +148,14 @@ class RunOutcome:
     #: never serialized.
     pmu: Optional[Any] = None
     profiler: Optional[Any] = None
+    #: Tenant the run was executed for (schema v2). The daemon records
+    #: tenancy at the job/sink level and leaves this ``None`` inside
+    #: cached payloads, so one tenant's cache entries never carry
+    #: another's identity; set it explicitly to stamp an outcome.
+    tenant: Optional[str] = None
+    #: Incremental findings carried by a deserialized outcome (live
+    #: outcomes read them off the profiler's windowed detector instead).
+    cached_streaming_findings: Optional[List[Dict[str, Any]]] = None
 
     @property
     def runtime(self) -> int:
@@ -173,6 +188,24 @@ class RunOutcome:
             return self.obs.metrics_snapshot()
         return dict(self.cached_metrics) if self.cached_metrics else {}
 
+    @property
+    def streaming_findings(self) -> List[Dict[str, Any]]:
+        """Incremental windowed-detector findings, as JSON-ready dicts.
+
+        Empty for native runs and for profiled runs using the offline
+        detector. Live outcomes read the profiler's detector; rehydrated
+        outcomes return the findings serialized with the payload, so a
+        cached windowed run replays the same finding list the original
+        simulation emitted.
+        """
+        if self.cached_streaming_findings is not None:
+            return list(self.cached_streaming_findings)
+        detector = getattr(self.profiler, "detector", None)
+        findings = getattr(detector, "findings", None)
+        if not findings:
+            return []
+        return [finding.to_dict() for finding in findings]
+
     # -- versioned serialization (see docs/api.md) ---------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -201,6 +234,8 @@ class RunOutcome:
             report_dict = report_to_dict(self.report)
         return {
             "schema_version": SCHEMA_VERSION,
+            "tenant": self.tenant,
+            "streaming_findings": self.streaming_findings,
             "result": {
                 "runtime": result.runtime,
                 "steps": result.steps,
@@ -242,10 +277,11 @@ class RunOutcome:
         version = data.get("schema_version")
         if version is None:
             raise SchemaError("RunOutcome payload has no schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in READABLE_SCHEMA_VERSIONS:
             raise SchemaError(
                 f"unsupported RunOutcome schema_version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION}); "
+                f"(this build reads versions "
+                f"{', '.join(map(str, READABLE_SCHEMA_VERSIONS))}); "
                 "re-run without the cache or clear it with "
                 "'repro cache clear'")
         try:
@@ -278,8 +314,22 @@ class RunOutcome:
         if data.get("report") is not None:
             from repro.core.export import report_from_dict
             report = report_from_dict(data["report"])
+        # v2 fields; a v1 payload simply has neither.
+        tenant = data.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise SchemaError(
+                f"malformed RunOutcome v{version} payload: tenant must be "
+                f"a string or null, got {type(tenant).__name__}")
+        findings = data.get("streaming_findings", [])
+        if not isinstance(findings, list) or any(
+                not isinstance(f, Mapping) for f in findings):
+            raise SchemaError(
+                f"malformed RunOutcome v{version} payload: "
+                "streaming_findings must be a list of objects")
         return cls(result=summary, report=report, obs=None,
-                   cached_metrics=dict(data.get("metrics") or {}) or None)
+                   cached_metrics=dict(data.get("metrics") or {}) or None,
+                   tenant=tenant,
+                   cached_streaming_findings=[dict(f) for f in findings])
 
 
 def run_workload(workload: Workload, *,

@@ -155,6 +155,20 @@ class RunService:
         self._runs.inc(label_value="executed")
         return outcome
 
+    def run_request(self, request: Any, force: bool = False) -> RunOutcome:
+        """Cache-first execution of a :class:`repro.request.RunRequest`.
+
+        The v2 spelling of :meth:`run`: the request resolves to its
+        content-addressed spec and is served identically to a hand-built
+        :class:`RunSpec` — same key, same cache entry.
+        """
+        from repro.request import RunRequest
+        if not isinstance(request, RunRequest):
+            raise ServiceError(
+                f"RunService.run_request expects a RunRequest, got "
+                f"{type(request).__name__}")
+        return self.run(request.to_spec(), force=force)
+
     # -- batched runs --------------------------------------------------------
 
     def make_scheduler(self, jobs: Optional[int] = None,

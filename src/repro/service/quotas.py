@@ -1,0 +1,205 @@
+"""Admission control for the serve daemon: rate limits and quotas.
+
+The daemon (``repro serve``) must stay healthy under misbehaving
+clients: a tight retry loop, a tenant submitting thousands of jobs, or a
+burst arriving faster than workers drain. Admission happens *before* a
+job touches the queue, in three layers:
+
+- a global :class:`TokenBucket` bounding the fleet-wide submission rate
+  (absorbs bursts up to ``burst``, refills at ``rate`` jobs/second);
+- per-tenant :class:`TenantQuotas`: each tenant (the
+  ``X-Repro-Tenant`` header) gets its own bucket plus a cap on
+  *pending* jobs (queued or running), so one tenant cannot occupy the
+  whole queue;
+- the bounded job queue itself (the daemon returns 429 when full).
+
+Rejections carry a ``retry_after`` hint in seconds — the time until the
+bucket would next admit a request — which the daemon surfaces as the
+HTTP ``Retry-After`` header.
+
+Everything takes an injectable ``clock`` (seconds, monotonic) so tests
+drive time by hand; all public methods are thread-safe (the daemon's
+HTTP handlers run on many threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["Admission", "TenantQuotas", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables the limit (every ``admit`` succeeds) — the
+    daemon's "no rate limiting configured" spelling.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Optional[Callable[[], float]] = None):
+        if rate > 0 and burst < 1:
+            raise ConfigError(
+                f"token bucket burst must be >= 1 when rate limiting is "
+                f"enabled, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._updated = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def admit(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Try to take ``cost`` tokens.
+
+        Returns ``(True, 0.0)`` on admission, else ``(False,
+        retry_after_seconds)`` where the hint is the time until the
+        bucket holds ``cost`` tokens again (minimum 1 second, so
+        clients never busy-spin on sub-second hints).
+        """
+        if self.rate <= 0:
+            return True, 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            needed = cost - self._tokens
+            return False, max(1.0, needed / self.rate)
+
+    def available(self) -> float:
+        """Current token count (after refill); introspection only."""
+        if self.rate <= 0:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class TenantQuotas:
+    """Per-tenant buckets plus a pending-jobs cap.
+
+    Args:
+        rate / burst: each tenant's private token bucket (``rate <= 0``
+            disables per-tenant rate limiting).
+        max_pending: cap on a tenant's jobs that are queued or running
+            (``0`` disables the cap).
+        clock: injectable monotonic clock shared by all tenant buckets.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: float = 1.0,
+                 max_pending: int = 0,
+                 clock: Optional[Callable[[], float]] = None):
+        if max_pending < 0:
+            raise ConfigError(
+                f"max_pending must be >= 0 (0 disables), got {max_pending}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_pending = int(max_pending)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._pending: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, clock=self._clock)
+        return bucket
+
+    def admit(self, tenant: str) -> Tuple[bool, float, str]:
+        """Admission check for one submission by ``tenant``.
+
+        Returns ``(ok, retry_after, reason)``; ``reason`` is ``""`` on
+        admission, else ``"rate"`` or ``"pending"``. On admission the
+        tenant's pending count is already incremented — the caller must
+        balance every admitted job with :meth:`release` exactly once
+        (including when the job is later deduped or fails to enqueue).
+        """
+        with self._lock:
+            if self.max_pending and \
+                    self._pending.get(tenant, 0) >= self.max_pending:
+                return False, 1.0, "pending"
+            ok, retry_after = self._bucket(tenant).admit()
+            if not ok:
+                return False, retry_after, "rate"
+            self._pending[tenant] = self._pending.get(tenant, 0) + 1
+            return True, 0.0, ""
+
+    def release(self, tenant: str) -> None:
+        """A previously admitted job finished (or was dropped)."""
+        with self._lock:
+            count = self._pending.get(tenant, 0)
+            if count <= 1:
+                self._pending.pop(tenant, None)
+            else:
+                self._pending[tenant] = count - 1
+
+    def pending(self, tenant: str) -> int:
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Pending counts per tenant (for ``/metrics`` and stats)."""
+        with self._lock:
+            return dict(self._pending)
+
+
+class Admission:
+    """The daemon's composed admission policy: global bucket, tenant
+    allowlist, tenant quotas — checked in that order.
+
+    Args:
+        rate / burst: global token bucket (``rate <= 0`` disables).
+        tenant_rate / tenant_burst / tenant_max_pending: per-tenant
+            knobs (see :class:`TenantQuotas`).
+        tenants: allowlist; empty means every tenant is accepted,
+            otherwise unknown tenants are rejected with reason
+            ``"forbidden"``.
+        clock: injectable monotonic clock for every bucket.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: float = 8.0,
+                 tenant_rate: float = 0.0, tenant_burst: float = 4.0,
+                 tenant_max_pending: int = 0,
+                 tenants: Tuple[str, ...] = (),
+                 clock: Optional[Callable[[], float]] = None):
+        self.global_bucket = TokenBucket(rate, burst, clock=clock)
+        self.tenants = tuple(tenants)
+        self.quotas = TenantQuotas(
+            rate=tenant_rate, burst=tenant_burst,
+            max_pending=tenant_max_pending, clock=clock)
+
+    def admit(self, tenant: str) -> Tuple[bool, float, str]:
+        """``(ok, retry_after, reason)`` for one submission.
+
+        Reasons: ``"rate"`` (global bucket), ``"forbidden"`` (tenant not
+        on the allowlist), ``"tenant_rate"``, ``"pending"``. Admitted
+        submissions hold one pending slot — balance with
+        :meth:`release`.
+        """
+        ok, retry_after = self.global_bucket.admit()
+        if not ok:
+            return False, retry_after, "rate"
+        if self.tenants and tenant not in self.tenants:
+            return False, 0.0, "forbidden"
+        ok, retry_after, reason = self.quotas.admit(tenant)
+        if not ok:
+            return False, retry_after, \
+                "tenant_rate" if reason == "rate" else reason
+        return True, 0.0, ""
+
+    def release(self, tenant: str) -> None:
+        self.quotas.release(tenant)

@@ -1,10 +1,14 @@
-"""Pins the frozen v1 public surface of the ``repro`` package.
+"""Pins the frozen v2 public surface of the ``repro`` package.
 
 These tests are the API contract: a change that adds to, removes from,
 or renames anything in ``repro.__all__`` must bump ``__api_version__``
 and edit the expected set here *deliberately*. Everything outside the
 surface is reachable only through its defining submodule (or, for the
 pre-v1 names, through a DeprecationWarning shim).
+
+v2 is a strict superset of v1: ``test_v1_names_survive`` guards the
+compatibility promise that nothing a v1 caller imported ever goes away
+within the v2 line.
 """
 
 import warnings
@@ -13,8 +17,7 @@ import pytest
 
 import repro
 
-#: The frozen v1 surface, verbatim. Do not edit casually — this list is
-#: the compatibility promise pinned by test_surface_is_exactly_v1.
+#: The v1 surface, kept verbatim as the backward-compatibility floor.
 V1_SURFACE = {
     # the front door and the canonical runner
     "Session", "run_workload", "RunOutcome", "RunSummary", "DEFAULT_SEEDS",
@@ -30,6 +33,19 @@ V1_SURFACE = {
     "__version__", "__api_version__",
 }
 
+#: The frozen v2 surface, verbatim. Do not edit casually — this set is
+#: the compatibility promise pinned by test_surface_is_exactly_v2.
+V2_SURFACE = V1_SURFACE | {
+    # the unified request object (one front door for every layer)
+    "RunRequest",
+    # streaming (windowed online) detection
+    "StreamingConfig", "StreamingDetector", "StreamingFinding",
+    # analytical entry points
+    "predict_outcome", "sampled_outcome",
+    # the serve daemon and its cross-run findings store
+    "ServeConfig", "FindingsSink",
+}
+
 #: Pre-v1 names that still import, but only through the deprecation shim.
 DEPRECATED_NAMES = (
     "profile", "run_plain", "Engine", "RunResult", "PMU",
@@ -38,16 +54,20 @@ DEPRECATED_NAMES = (
 
 
 class TestFrozenSurface:
-    def test_api_version_is_one(self):
-        assert repro.__api_version__ == 1
+    def test_api_version_is_two(self):
+        assert repro.__api_version__ == 2
 
-    def test_surface_is_exactly_v1(self):
-        assert set(repro.__all__) == V1_SURFACE
+    def test_surface_is_exactly_v2(self):
+        assert set(repro.__all__) == V2_SURFACE
+
+    def test_v1_names_survive(self):
+        """v2 removed nothing a v1 caller could import."""
+        assert V1_SURFACE <= set(repro.__all__)
 
     def test_every_name_resolves_without_warning(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            for name in sorted(V1_SURFACE):
+            for name in sorted(V2_SURFACE):
                 assert getattr(repro, name) is not None
 
     def test_no_deprecated_name_in_surface(self):
@@ -59,7 +79,7 @@ class TestFrozenSurface:
 
     def test_dir_lists_surface_and_shims(self):
         listing = dir(repro)
-        for name in V1_SURFACE | set(DEPRECATED_NAMES):
+        for name in V2_SURFACE | set(DEPRECATED_NAMES):
             assert name in listing
 
 
@@ -89,3 +109,29 @@ class TestDeprecatedShims:
                 ArrayIncrement(num_threads=2, scale=0.1))
         assert result.runtime > 0
         assert report is not None
+
+
+class TestV2Names:
+    """The v2 additions are the real objects, not re-exports of shims."""
+
+    def test_run_request_front_door(self):
+        request = repro.RunRequest(workload="histogram", threads=2)
+        assert request.to_spec().workload == "histogram"
+
+    def test_serve_config_round_trips(self):
+        config = repro.ServeConfig(port=0, workers=1)
+        assert repro.ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_findings_sink_constructs(self, tmp_path):
+        sink = repro.FindingsSink(tmp_path / "sink")
+        assert sink.stats()["rows"] == 0
+
+    def test_streaming_types_are_core_types(self):
+        from repro.core.streaming import StreamingDetector, StreamingFinding
+        assert repro.StreamingDetector is StreamingDetector
+        assert repro.StreamingFinding is StreamingFinding
+
+    def test_predict_entry_points_are_predict_package(self):
+        from repro.predict import predict_outcome, sampled_outcome
+        assert repro.predict_outcome is predict_outcome
+        assert repro.sampled_outcome is sampled_outcome

@@ -1,0 +1,148 @@
+"""Admission control: token buckets, tenant quotas, composed policy.
+
+Every test drives a fake clock by hand — nothing sleeps.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.quotas import Admission, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_rejects(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.admit()[0] for _ in range(3)] == [True] * 3
+        ok, retry_after = bucket.admit()
+        assert not ok
+        assert retry_after >= 1.0
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.admit()[0] and bucket.admit()[0]
+        assert not bucket.admit()[0]
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.admit()[0]
+        assert not bucket.admit()[0]
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == 2.0
+
+    def test_retry_after_reflects_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1.0, clock=clock)
+        assert bucket.admit()[0]
+        ok, retry_after = bucket.admit()
+        assert not ok
+        assert retry_after == pytest.approx(2.0)  # 1 token at 0.5/s
+
+    def test_zero_rate_disables(self):
+        bucket = TokenBucket(rate=0.0, burst=0.0)
+        assert all(bucket.admit()[0] for _ in range(100))
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ConfigError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantQuotas:
+    def test_buckets_are_per_tenant(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+        assert quotas.admit("a")[0]
+        assert not quotas.admit("a")[0]   # a's bucket is empty...
+        assert quotas.admit("b")[0]       # ...b's is untouched
+
+    def test_pending_cap(self):
+        quotas = TenantQuotas(max_pending=2)
+        assert quotas.admit("a")[0] and quotas.admit("a")[0]
+        ok, _, reason = quotas.admit("a")
+        assert not ok and reason == "pending"
+        quotas.release("a")
+        assert quotas.admit("a")[0]
+
+    def test_release_balances(self):
+        quotas = TenantQuotas(max_pending=1)
+        assert quotas.admit("a")[0]
+        quotas.release("a")
+        assert quotas.pending("a") == 0
+        assert quotas.snapshot() == {}
+
+    def test_rate_rejection_does_not_leak_pending(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, max_pending=10,
+                              clock=clock)
+        assert quotas.admit("a")[0]
+        ok, _, reason = quotas.admit("a")
+        assert not ok and reason == "rate"
+        assert quotas.pending("a") == 1  # only the admitted one
+
+    def test_thread_safety_of_pending_counts(self):
+        quotas = TenantQuotas(max_pending=0)
+
+        def hammer():
+            for _ in range(200):
+                assert quotas.admit("t")[0]
+                quotas.release("t")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert quotas.pending("t") == 0
+
+
+class TestAdmission:
+    def test_order_global_then_allowlist_then_tenant(self):
+        clock = FakeClock()
+        admission = Admission(rate=1.0, burst=1.0, tenants=("a",),
+                              clock=clock)
+        ok, _, reason = admission.admit("a")
+        assert ok and reason == ""
+        # global bucket now empty: even an unknown tenant sees "rate"
+        ok, _, reason = admission.admit("zz")
+        assert not ok and reason == "rate"
+        clock.advance(1.0)
+        ok, _, reason = admission.admit("zz")
+        assert not ok and reason == "forbidden"
+
+    def test_empty_allowlist_accepts_everyone(self):
+        admission = Admission()
+        for tenant in ("a", "b", "c"):
+            ok, _, reason = admission.admit(tenant)
+            assert ok, reason
+
+    def test_tenant_rate_reason_is_namespaced(self):
+        clock = FakeClock()
+        admission = Admission(tenant_rate=1.0, tenant_burst=1.0, clock=clock)
+        assert admission.admit("a")[0]
+        ok, retry_after, reason = admission.admit("a")
+        assert not ok and reason == "tenant_rate"
+        assert retry_after >= 1.0
+
+    def test_pending_quota_and_release(self):
+        admission = Admission(tenant_max_pending=1)
+        assert admission.admit("a")[0]
+        ok, _, reason = admission.admit("a")
+        assert not ok and reason == "pending"
+        admission.release("a")
+        assert admission.admit("a")[0]

@@ -53,6 +53,61 @@ class TestRoundTrip:
         assert rebuilt.report.render() == original.report.render()
 
 
+class TestSchemaV2:
+    """v2 additions: tenant and streaming_findings survive round-trip."""
+
+    def test_v2_fields_present(self):
+        data = _outcome().to_dict()
+        assert data["tenant"] is None
+        assert data["streaming_findings"] == []
+
+    def test_tenant_round_trips(self):
+        original = _outcome()
+        original.tenant = "team-a"
+        rebuilt = RunOutcome.from_dict(original.to_dict())
+        assert rebuilt.tenant == "team-a"
+        assert rebuilt.to_dict()["tenant"] == "team-a"
+
+    def test_windowed_findings_round_trip(self):
+        from repro.request import RunRequest
+        original = RunRequest(workload="linear_regression", threads=4,
+                              detector="windowed").execute()
+        findings = original.streaming_findings
+        assert findings, "windowed linear_regression should emit findings"
+        rebuilt = RunOutcome.from_dict(original.to_dict())
+        assert rebuilt.streaming_findings == findings
+        # and they survive a second hop (cache rehydration of a
+        # rehydrated payload)
+        again = RunOutcome.from_dict(rebuilt.to_dict())
+        assert again.streaming_findings == findings
+
+    def test_v1_payload_rehydrates(self):
+        """Stored v1 entries (no tenant / findings keys) still load."""
+        data = _outcome().to_dict()
+        data["schema_version"] = 1
+        del data["tenant"]
+        del data["streaming_findings"]
+        rebuilt = RunOutcome.from_dict(data)
+        assert rebuilt.tenant is None
+        assert rebuilt.streaming_findings == []
+        assert rebuilt.runtime > 0
+
+    def test_bad_tenant_rejected(self):
+        data = _outcome().to_dict()
+        data["tenant"] = 42
+        with pytest.raises(SchemaError, match="malformed"):
+            RunOutcome.from_dict(data)
+
+    def test_bad_findings_rejected(self):
+        data = _outcome().to_dict()
+        data["streaming_findings"] = "nope"
+        with pytest.raises(SchemaError, match="malformed"):
+            RunOutcome.from_dict(data)
+        data["streaming_findings"] = ["not-a-mapping"]
+        with pytest.raises(SchemaError, match="malformed"):
+            RunOutcome.from_dict(data)
+
+
 class TestVersionGating:
     def test_unknown_version_rejected(self):
         data = _outcome().to_dict()
