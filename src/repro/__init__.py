@@ -32,10 +32,22 @@ collapsing the kernel/mode/detector selection knobs every layer used to
 re-assemble), the streaming detector types, the analytical entry points
 (``predict_outcome`` / ``sampled_outcome``), and the serve-daemon pieces
 (:class:`~repro.service.daemon.ServeConfig`,
-:class:`~repro.service.sink.FindingsSink`). Everything else is internal.
-The pre-v1 names (``profile``, ``run_plain``, and the raw substrate
-classes that used to leak through this module) still import but emit
-:class:`DeprecationWarning` via the module ``__getattr__``.
+:class:`~repro.service.sink.FindingsSink`).
+
+The workload-registry API rides on v2 *additively*: the v2 names are
+frozen verbatim, and the redesigned ground-truth surface
+(:class:`~repro.workloads.GroundTruth`,
+:class:`~repro.workloads.Verdict`, :class:`~repro.workloads.Workload`,
+:func:`~repro.workloads.get_workload`,
+:func:`~repro.workloads.iter_workloads`) extends it without touching
+anything a v2 caller imports. The old ``Workload`` boolean pair
+(``documented_false_sharing`` / ``significant_false_sharing``) still
+reads, derived from ``ground_truth`` with a :class:`DeprecationWarning`.
+
+Everything else is internal. The pre-v1 names (``profile``,
+``run_plain``, and the raw substrate classes that used to leak through
+this module) still import but emit :class:`DeprecationWarning` via the
+module ``__getattr__``.
 """
 
 from __future__ import annotations
@@ -70,11 +82,20 @@ from repro.service import (
 from repro.service.daemon import ServeConfig
 from repro.service.sink import FindingsSink
 from repro.sim.params import LatencyModel, MachineConfig
+from repro.workloads import (
+    GroundTruth,
+    Verdict,
+    Workload,
+    get_workload,
+    iter_workloads,
+)
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
-#: Version of the frozen public surface below (not the package version).
-#: Bumped only when a name is added to or removed from ``__all__``.
+#: Version of the frozen public surface (not the package version).
+#: Bumped when a name is removed or renamed; purely additive extensions
+#: (the workload-registry names below) keep the version and are pinned
+#: separately by ``tests/test_public_api.py``.
 __api_version__ = 2
 
 __all__ = [
@@ -83,6 +104,7 @@ __all__ = [
     "DEFAULT_SEEDS",
     "DetectorConfig",
     "FindingsSink",
+    "GroundTruth",
     "JobFailure",
     "LatencyModel",
     "MachineConfig",
@@ -101,8 +123,12 @@ __all__ = [
     "StreamingConfig",
     "StreamingDetector",
     "StreamingFinding",
+    "Verdict",
+    "Workload",
     "cached_run",
     "default_cache_dir",
+    "get_workload",
+    "iter_workloads",
     "predict_outcome",
     "run_workload",
     "sampled_outcome",

@@ -41,8 +41,8 @@ from repro.baselines.predator import PredatorDetector
 from repro.baselines.sheriff import SheriffDetector
 from repro.config import CLIConfigs, build_configs
 from repro.experiments import (
-    adaptive, assumptions, comparison, figure1, figure4, figure5, figure7,
-    linesize, parallel, scaling, synchronization, table1,
+    adaptive, assumptions, comparison, detection, figure1, figure4, figure5,
+    figure7, linesize, parallel, scaling, synchronization, table1,
 )
 from repro.obs import aggregate_snapshots, pop_default, push_default
 from repro.run import run_workload
@@ -53,7 +53,15 @@ from repro.service import (
     default_cache_dir,
     using_service,
 )
-from repro.workloads import all_workload_names, get_workload
+from repro.workloads import (
+    Verdict,
+    all_workload_names,
+    families,
+    get_workload,
+    iter_workloads,
+    suites,
+    workload_info,
+)
 
 EXPERIMENTS = {
     "figure1": lambda args: figure1.run(scale=args.scale),
@@ -62,6 +70,7 @@ EXPERIMENTS = {
     "figure7": lambda args: figure7.run(scale=args.scale),
     "table1": lambda args: table1.run(scale=args.scale),
     "comparison": lambda args: comparison.run(scale=args.scale),
+    "detection": lambda args: detection.run(scale=args.scale),
     "oversubscription": lambda args: assumptions.run_oversubscription(),
     "finite-cache": lambda args: assumptions.run_finite_cache(),
     "linesize": lambda args: linesize.run(scale=args.scale),
@@ -118,6 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", parents=[json_parent],
                    help="list available workloads")
 
+    wl_p = sub.add_parser(
+        "workloads", parents=[json_parent],
+        help="query the workload registry (suites, families, "
+             "declared ground truth)")
+    wl_p.add_argument("action", choices=("list",),
+                      help="list: one row per registered workload")
+    wl_p.add_argument("--suite", default=None,
+                      help="only workloads of this suite "
+                           "(phoenix/parsec/micro/concurrent)")
+    wl_p.add_argument("--family", default=None,
+                      help="only workloads of this concurrency family "
+                           "(fork_join, producer_consumer, ...)")
+    wl_p.add_argument("--verdict", default=None,
+                      choices=("false_sharing", "true_sharing", "none"),
+                      help="only workloads whose declared ground-truth "
+                           "verdict matches")
+    wl_p.add_argument("--significant", action="store_true", default=None,
+                      help="only workloads declaring significant false "
+                           "sharing")
+
     def add_workload_args(p):
         p.add_argument("workload", help="workload name (see 'list')")
         p.add_argument("--threads", type=int, default=None,
@@ -150,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--check", action="store_true",
                        help="run under the coherence sanitizer (slow; "
                             "incompatible with --mode predict)")
+        p.add_argument("--numa-nodes", type=int, default=None,
+                       help="stripe cores over N NUMA nodes "
+                            "(default: machine's, 1)")
+        p.add_argument("--remote-fetch-penalty", type=int, default=None,
+                       help="extra cycles for cold/shared fetches from a "
+                            "remote node (needs --numa-nodes > 1)")
+        p.add_argument("--remote-transfer-penalty", type=int, default=None,
+                       help="extra cycles for coherence transfers sourced "
+                            "from a remote node (needs --numa-nodes > 1)")
 
     def add_detector_args(p):
         p.add_argument("--detector", choices=("offline", "windowed"),
@@ -210,6 +248,41 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--period", type=int, default=None,
                          help="PMU sampling period (implies --profile)")
     add_detector_args(trace_p)
+
+    rec_p = sub.add_parser(
+        "record", parents=[json_parent],
+        help="run a workload and record its access stream as a "
+             "self-describing trace for offline replay")
+    add_workload_args(rec_p)
+    rec_p.add_argument("--out", metavar="FILE", default=None,
+                       help="trace path; a '.gz' suffix compresses "
+                            "(default: <workload>.trace.gz)")
+    rec_p.add_argument("--limit", type=int, default=None,
+                       help="record at most N accesses (the meta notes "
+                            "truncation)")
+    rec_p.add_argument("--no-profile", dest="record_profile",
+                       action="store_false", default=True,
+                       help="skip the Cheetah profile (the trace then "
+                            "carries no live verdict to compare replay "
+                            "against)")
+
+    replay_p = sub.add_parser(
+        "replay", parents=[json_parent, cache_parent],
+        help="replay a recorded trace through the machine and detector "
+             "(offline, DARWIN-style second round)")
+    replay_p.add_argument("trace_file", metavar="TRACE",
+                          help="trace written by 'repro record' "
+                               "(.trace or .trace.gz)")
+    replay_p.add_argument("--period", type=int, default=None,
+                          help="downsample the stream PMU-style before "
+                               "the detector (default: replay every "
+                               "access)")
+    replay_p.add_argument("--seed", type=int, default=1,
+                          help="downsampling jitter seed")
+    replay_p.add_argument("--true-sharing-fraction", type=float,
+                          default=None,
+                          help="override the detector's true-sharing "
+                               "classification threshold")
 
     met_p = sub.add_parser(
         "metrics", parents=[json_parent],
@@ -390,9 +463,9 @@ def cmd_list(args) -> int:
     rows = []
     for name in all_workload_names():
         cls = get_workload(name)
-        if cls.documented_false_sharing:
-            fs = ("significant" if cls.significant_false_sharing
-                  else "negligible")
+        truth = cls.ground_truth
+        if truth.verdict is Verdict.FALSE_SHARING:
+            fs = "significant" if truth.significant else "negligible"
         else:
             fs = "-"
         rows.append({"name": name, "suite": cls.suite,
@@ -405,6 +478,142 @@ def cmd_list(args) -> int:
         print(f"{row['name']:<20} {row['suite']:<8} "
               f"{row['threads']:<8} {row['false_sharing']}")
     return 0
+
+
+_VERDICT_FLAGS = {
+    "false_sharing": Verdict.FALSE_SHARING,
+    "true_sharing": Verdict.TRUE_SHARING,
+    "none": Verdict.NONE,
+}
+
+
+def cmd_workloads(args) -> int:
+    verdict = _VERDICT_FLAGS[args.verdict] if args.verdict else None
+    rows = [workload_info(cls)
+            for cls in iter_workloads(suite=args.suite, family=args.family,
+                                      verdict=verdict,
+                                      significant=args.significant)]
+    if args.json:
+        _print_json(rows)
+        return 0
+    print(f"{'name':<24} {'suite':<11} {'family':<18} {'threads':<8} "
+          "ground truth")
+    for row in rows:
+        truth = row["ground_truth"]
+        label = truth["verdict"]
+        if truth["verdict"] == Verdict.FALSE_SHARING.value:
+            label += (" (significant)" if truth["significant"]
+                      else " (negligible)")
+        print(f"{row['name']:<24} {row['suite']:<11} {row['family']:<18} "
+              f"{row['default_threads']:<8} {label}")
+    print(f"\n{len(rows)} workload(s); suites: {', '.join(suites())}; "
+          f"families: {', '.join(families())}", file=sys.stderr)
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.trace import record_workload, save_trace
+    configs = build_configs(args)
+    cls = get_workload(args.workload)
+    workload = cls(**configs.workload_kwargs)
+    recorder, meta = record_workload(
+        workload, machine_config=configs.machine,
+        jitter_seed=configs.jitter_seed, limit=args.limit,
+        with_cheetah=args.record_profile, cheetah_config=configs.cheetah)
+    out = args.out or f"{args.workload}.trace.gz"
+    written = save_trace(recorder.records, out, meta=meta)
+    payload = {
+        "workload": args.workload,
+        "trace": out,
+        "records": written,
+        "truncated": bool(meta.get("truncated")),
+        "live_verdict": meta.get("live_verdict"),
+    }
+    if args.json:
+        _print_json(payload)
+        return 0
+    print(f"workload:      {args.workload}")
+    print(f"trace:         {out}")
+    print(f"records:       {written:,}"
+          + (" (truncated)" if payload["truncated"] else ""))
+    if payload["live_verdict"] is not None:
+        print(f"live verdict:  {payload['live_verdict']}")
+    return 0
+
+
+def _replay_cache_key(args) -> str:
+    """Content key for a replay: the trace bytes + every replay knob."""
+    import hashlib
+    from repro.run import SCHEMA_VERSION
+    from repro.service.spec import content_key
+    digest = hashlib.sha256()
+    with open(args.trace_file, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return content_key({
+        "kind": "replay",
+        "schema_version": SCHEMA_VERSION,
+        "trace_sha256": digest.hexdigest(),
+        "period": args.period,
+        "seed": args.seed,
+        "true_sharing_fraction": args.true_sharing_fraction,
+    })
+
+
+def cmd_replay(args) -> int:
+    from repro.service import ResultStore
+    from repro.trace import load_trace, load_trace_meta, replay_outcome
+    store = None
+    outcome = None
+    key = None
+    if args.cache:
+        store = ResultStore(args.cache_dir or default_cache_dir())
+        key = _replay_cache_key(args)
+        outcome = store.get(key)
+    from_cache = outcome is not None
+    if outcome is None:
+        meta = load_trace_meta(args.trace_file)
+        outcome = replay_outcome(
+            load_trace(args.trace_file), meta,
+            period=args.period, seed=args.seed,
+            true_sharing_fraction=args.true_sharing_fraction)
+        if store is not None:
+            store.put(key, outcome)
+    md = outcome.result.metadata
+    if args.json:
+        _print_json({
+            "trace": args.trace_file,
+            "verdict": md["verdict"],
+            "live_verdict": md.get("live_verdict"),
+            "workload": md.get("workload"),
+            "objects": md["objects"],
+            "trace_records": md["trace_records"],
+            "replayed_samples": md["replayed_samples"],
+            "machine_invalidations": md["machine_invalidations"],
+            "from_cache": from_cache,
+        })
+        return 0 if md["verdict"] == "false sharing" else 1
+    workload = md.get("workload") or {}
+    if workload:
+        print(f"workload:       {workload.get('name')} "
+              f"(threads={workload.get('num_threads')}, "
+              f"scale={workload.get('scale')})")
+    print(f"trace:          {args.trace_file} "
+          f"({md['trace_records']:,} records"
+          + (", cached" if from_cache else "") + ")")
+    print(f"replayed:       {md['replayed_samples']:,} sample(s)"
+          + (f" (period {md['period']})" if md.get("period") else ""))
+    print(f"invalidations:  {md['machine_invalidations']:,} "
+          "(machine ground truth)")
+    print(f"verdict:        {md['verdict']}")
+    live = md.get("live_verdict")
+    if live is not None:
+        agree = "matches" if live == md["verdict"] else "DIFFERS FROM"
+        print(f"live run:       {live} ({agree} replay)")
+    for obj in md["objects"]:
+        print(f"  {obj['label']:<28} {obj['kind']:<14} "
+              f"invalidations={obj['invalidations']}")
+    return 0 if md["verdict"] == "false sharing" else 1
 
 
 def _session(args, configs: CLIConfigs) -> Session:
@@ -863,6 +1072,9 @@ def cmd_serve(args) -> int:
 
 COMMANDS = {
     "list": cmd_list,
+    "workloads": cmd_workloads,
+    "record": cmd_record,
+    "replay": cmd_replay,
     "run": cmd_run,
     "profile": cmd_profile,
     "trace": cmd_trace,

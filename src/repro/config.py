@@ -197,6 +197,9 @@ def build_configs(args: Any) -> CLIConfigs:
         true_sharing=bool(get("true_sharing", False)),
         line_size=line_size,
         cores=cores,
+        numa_nodes=get("numa_nodes"),
+        remote_fetch_penalty=get("remote_fetch_penalty"),
+        remote_transfer_penalty=get("remote_transfer_penalty"),
     )
     machine = request.machine_config()
     pmu = request.pmu_config()

@@ -10,7 +10,9 @@
   (Figure 7);
 - :mod:`repro.experiments.table1` — assessment precision (Table 1);
 - :mod:`repro.experiments.comparison` — the Section 4.2.3 comparison
-  with the Predator baseline.
+  with the Predator baseline;
+- :mod:`repro.experiments.detection` — classification vs. declared
+  ground truth over the concurrent workload families.
 
 Each module exposes ``run(...)`` returning a result object with ``rows``
 and ``render()``.
@@ -20,6 +22,7 @@ from repro.experiments import (  # noqa: F401
     adaptive,
     assumptions,
     comparison,
+    detection,
     figure1,
     figure4,
     figure5,
@@ -39,6 +42,7 @@ from repro.run import run_workload
 __all__ = [
     "assumptions",
     "comparison",
+    "detection",
     "figure1",
     "figure4",
     "figure5",

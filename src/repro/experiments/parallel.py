@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.experiments import comparison, figure4, scaling, table1
+from repro.experiments import comparison, detection, figure4, scaling, table1
 from repro.experiments.runner import (
     measure_overhead,
     measure_predicted_improvement,
@@ -57,7 +57,8 @@ from repro.service import (
 from repro.workloads import FIGURE4_NAMES, get_workload
 
 #: Experiment names (as the CLI spells them) with a parallel runner.
-PARALLEL_EXPERIMENTS = ("table1", "figure4", "comparison", "scaling")
+PARALLEL_EXPERIMENTS = ("table1", "figure4", "comparison", "scaling",
+                        "detection")
 
 
 def _map_cells(cell_fn, cells, jobs: int) -> List[Any]:
@@ -202,9 +203,34 @@ def run_scaling(scale: float = 0.5,
     return _degraded(scaling.ScalingResult(rows=rows), failures)
 
 
+# -- detection ---------------------------------------------------------------
+
+def _detection_cell(cell):
+    name, scale, jitter_seed = cell
+    return detection.run_one(name, scale=scale, jitter_seed=jitter_seed)
+
+
+def run_detection(scale: float = 1.0,
+                  names: Optional[Sequence[str]] = None,
+                  jitter_seed: int = 0xC0FFEE,
+                  jobs: Optional[int] = None
+                  ) -> "detection.DetectionResult":
+    """Detection table with one workload per task."""
+    if not jobs or jobs <= 1:
+        return detection.run(scale=scale, names=names,
+                             jitter_seed=jitter_seed)
+    cells = [(name, scale, jitter_seed)
+             for name in (names if names is not None
+                          else detection.default_names())]
+    rows, failures = _split_failures(
+        _map_cells(_detection_cell, cells, jobs))
+    return _degraded(detection.DetectionResult(rows=rows), failures)
+
+
 RUNNERS = {
     "table1": run_table1,
     "figure4": run_figure4,
     "comparison": run_comparison,
     "scaling": run_scaling,
+    "detection": run_detection,
 }

@@ -72,6 +72,10 @@ class RunRequest(ConfigBase):
         period: PMU sampling period in instructions.
         true_sharing: include true-sharing instances in the report.
         line_size / cores: machine geometry overrides.
+        numa_nodes / remote_fetch_penalty / remote_transfer_penalty:
+            NUMA topology overrides (see
+            :class:`~repro.sim.params.MachineConfig`); ``None`` keeps
+            the machine default (single node, no penalties).
         machine / pmu / cheetah: full config overrides; the scalar knobs
             above are applied *on top* of them (an explicit ``kernel``
             wins over ``machine.kernel``).
@@ -92,6 +96,9 @@ class RunRequest(ConfigBase):
     true_sharing: bool = False
     line_size: Optional[int] = None
     cores: Optional[int] = None
+    numa_nodes: Optional[int] = None
+    remote_fetch_penalty: Optional[int] = None
+    remote_transfer_penalty: Optional[int] = None
     machine: Optional[MachineConfig] = None
     pmu: Optional[PMUConfig] = None
     cheetah: Optional[CheetahConfig] = None
@@ -117,6 +124,13 @@ class RunRequest(ConfigBase):
             raise ConfigError(f"scale must be positive, got {self.scale}")
         if self.period is not None and self.period < 1:
             raise ConfigError(f"period must be >= 1, got {self.period}")
+        if self.numa_nodes is not None and self.numa_nodes < 1:
+            raise ConfigError(
+                f"numa_nodes must be >= 1, got {self.numa_nodes}")
+        for name in ("remote_fetch_penalty", "remote_transfer_penalty"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
 
     # -- derived state -------------------------------------------------------
 
@@ -136,7 +150,10 @@ class RunRequest(ConfigBase):
         defaults (``None`` and ``MachineConfig()`` hash identically in a
         :class:`~repro.service.spec.RunSpec`)."""
         if (self.machine is None and self.kernel is None and self.mode is None
-                and self.line_size is None and self.cores is None):
+                and self.line_size is None and self.cores is None
+                and self.numa_nodes is None
+                and self.remote_fetch_penalty is None
+                and self.remote_transfer_penalty is None):
             return None
         base = self.machine or MachineConfig()
         changes: Dict[str, Any] = {}
@@ -148,6 +165,12 @@ class RunRequest(ConfigBase):
             changes["cache_line_size"] = self.line_size
         if self.cores is not None:
             changes["num_cores"] = self.cores
+        if self.numa_nodes is not None:
+            changes["numa_nodes"] = self.numa_nodes
+        if self.remote_fetch_penalty is not None:
+            changes["remote_fetch_penalty"] = self.remote_fetch_penalty
+        if self.remote_transfer_penalty is not None:
+            changes["remote_transfer_penalty"] = self.remote_transfer_penalty
         return base.replace(**changes) if changes else base
 
     def pmu_config(self) -> Optional[PMUConfig]:

@@ -505,6 +505,8 @@ def _make_handler(daemon: Daemon):
                 self._send_text(200, daemon.render_metrics())
             elif path == "/v1/findings":
                 self._findings(parse_qs(parsed.query))
+            elif path == "/v1/workloads":
+                self._workloads(parse_qs(parsed.query))
             elif path.startswith("/v1/jobs/") and path.endswith("/events"):
                 self._events(path[len("/v1/jobs/"):-len("/events")]
                              .strip("/"))
@@ -518,6 +520,33 @@ def _make_handler(daemon: Daemon):
                         self._send_json(200, job.to_dict())
             else:
                 self._send_json(404, {"error": f"unknown path {path}"})
+
+        def _workloads(self, query) -> None:
+            """``GET /v1/workloads``: the queryable registry surface.
+
+            Supports the same filters as ``repro workloads list``
+            (``suite``, ``family``, ``verdict``, ``significant``) so a
+            client can discover runnable scenarios and their declared
+            ground truth before POSTing jobs.
+            """
+            from repro.workloads import Verdict, iter_workloads, workload_info
+            suite = (query.get("suite") or [None])[0]
+            family = (query.get("family") or [None])[0]
+            verdict = (query.get("verdict") or [None])[0]
+            significant_raw = (query.get("significant") or [None])[0]
+            significant = None
+            if significant_raw is not None:
+                significant = significant_raw.lower() in ("1", "true", "yes")
+            try:
+                want = Verdict.coerce(verdict) if verdict else None
+                rows = [workload_info(cls)
+                        for cls in iter_workloads(
+                            suite=suite, family=family, verdict=want,
+                            significant=significant)]
+            except ConfigError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(200, {"workloads": rows, "count": len(rows)})
 
         def _events(self, job_id: str) -> None:
             job = daemon.get_job(job_id)

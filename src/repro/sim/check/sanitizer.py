@@ -66,6 +66,10 @@ class CoherenceSanitizer:
         machine = self.machine
         line = addr >> machine._line_shift
         pinned_before = machine._pin_until.get(line, 0)
+        # Previous dirty owner from the *oracle*'s view, captured before
+        # its transition: the independent source for reconstructing the
+        # NUMA remote-transfer penalty.
+        owner_before = self.oracle.dirty_owner(line)
 
         latency, kind, out_line = machine._raw_access_tuple(
             core, addr, is_write, now)
@@ -92,6 +96,9 @@ class CoherenceSanitizer:
 
         # 2. Exact latency reconstruction + jitter-stream conservation.
         expected_latency = machine._costs[kind]
+        if machine._numa:
+            expected_latency += machine._numa_penalty(
+                kind, core, line, owner_before)
         if machine._jitter:
             j = self._mirror_jitter
             j ^= (j << 13) & _MASK64

@@ -119,6 +119,19 @@ class Machine:
         # artifact real machines do not exhibit.
         self._transfer_window = transfer_window
         self._pin_until: Dict[int, int] = {}
+        # NUMA asymmetric latency: with >1 node and a nonzero penalty,
+        # cold/shared fetches from a remote home node and coherence
+        # transfers sourced from a remote core cost extra. ``_numa`` is
+        # False on the default single-node config, and every NUMA branch
+        # below is guarded on it, so the default path is bit-identical
+        # to pre-NUMA builds.
+        cfg = self.config
+        self._numa_nodes = cfg.numa_nodes
+        self._remote_fetch = cfg.remote_fetch_penalty
+        self._remote_transfer = cfg.remote_transfer_penalty
+        self._numa = cfg.numa_nodes > 1 and (
+            cfg.remote_fetch_penalty > 0 or cfg.remote_transfer_penalty > 0)
+        self.numa_penalty_cycles = 0
         # Everything the engine's fused burst loop needs that never
         # changes after construction, bundled so the loop's per-call
         # setup is one attribute load and a tuple unpack.
@@ -191,6 +204,10 @@ class Machine:
                 self.total_accesses += 1
                 self.total_cycles += latency
                 return latency, coherence.HIT, line
+        # The previous dirty owner is consumed by the transition below;
+        # capture it first so the NUMA penalty can tell where a
+        # coherence transfer is sourced from.
+        prev_owner = self._exclusive.get(line) if self._numa else None
         kind = self.directory.access(core, addr, is_write)
         if self._prefetcher and kind in _PREFETCHABLE:
             recent = self._recent_lines.get(core)
@@ -205,6 +222,11 @@ class Machine:
             if len(recent) > _PREFETCH_WINDOW:
                 del recent[next(iter(recent))]
         latency = self._costs[kind]
+        if self._numa:
+            penalty = self._numa_penalty(kind, core, line, prev_owner)
+            if penalty:
+                latency += penalty
+                self.numa_penalty_cycles += penalty
         if self._jitter:
             state = self._jitter_state
             state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
@@ -228,6 +250,30 @@ class Machine:
     # ``access_tuple`` (e.g. the mutation self-test machine) must re-alias
     # this so the sanitizer validates *their* fast path.
     _raw_access_tuple = access_tuple
+
+    def _numa_penalty(self, kind: str, core: int, line: int,
+                      prev_owner: Optional[int]) -> int:
+        """Extra cycles a NUMA machine charges for this access.
+
+        Cold/shared fetches pay ``remote_fetch_penalty`` when the line's
+        home node differs from the accessing core's node; coherence
+        transfers pay ``remote_transfer_penalty`` when the source — the
+        previous dirty owner if there was one, else the home node —
+        sits on another node. HITs, prefetched fetches (the prefetcher
+        hides the transfer) and UPGRADEs (invalidation-only, no data
+        movement) are never penalised. The sanitizer calls this with the
+        *oracle's* previous dirty owner to reconstruct latencies
+        independently, so the penalty rule lives here, in one place.
+        """
+        nodes = self._numa_nodes
+        node = core % nodes
+        if kind in _PREFETCHABLE:
+            return self._remote_fetch if line % nodes != node else 0
+        if kind in (coherence.COHERENCE_READ, coherence.COHERENCE_WRITE):
+            source = prev_owner % nodes if prev_owner is not None \
+                else line % nodes
+            return self._remote_transfer if source != node else 0
+        return 0
 
     def line_is_private(self, core: int, state, is_write: bool) -> bool:
         """Batch-planner predicate (see :mod:`repro.sim.kernel`): may

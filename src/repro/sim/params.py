@@ -101,6 +101,19 @@ class MachineConfig(ConfigBase):
             a few representative bursts and extrapolate with confidence
             intervals). Unlike ``kernel``, the non-default modes produce
             *estimates*, tagged ``predicted=true`` in the run metadata.
+        numa_nodes: number of NUMA nodes cores are striped across
+            (``node_of(core) = core % numa_nodes``). The default 1
+            models the paper's single-node view; with >1, the
+            remote-latency penalties below apply. Purely additive: with
+            the penalties at 0 the simulation is bit-identical to a
+            single-node machine.
+        remote_fetch_penalty: extra cycles for a cold/shared fetch whose
+            line's home node (``line % numa_nodes``) is not the
+            accessing core's node.
+        remote_transfer_penalty: extra cycles for a coherence transfer
+            (dirty-line forward or invalidating write) sourced from a
+            core on another node — the cost that makes cross-node false
+            sharing hurt disproportionately on real NUMA machines.
     """
 
     num_cores: int = 48
@@ -112,6 +125,9 @@ class MachineConfig(ConfigBase):
     alloc_cost: int = 100
     kernel: str = "auto"
     mode: str = "simulate"
+    numa_nodes: int = 1
+    remote_fetch_penalty: int = 0
+    remote_transfer_penalty: int = 0
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -133,6 +149,21 @@ class MachineConfig(ConfigBase):
                 f"mode must be 'simulate', 'predict' or 'sampled', "
                 f"got {self.mode!r}"
             )
+        if self.numa_nodes < 1:
+            raise ConfigError(
+                f"numa_nodes must be >= 1, got {self.numa_nodes}")
+        if self.numa_nodes > self.num_cores:
+            raise ConfigError(
+                f"numa_nodes must be <= num_cores, got {self.numa_nodes} "
+                f"nodes for {self.num_cores} cores")
+        if self.remote_fetch_penalty < 0:
+            raise ConfigError(
+                f"remote_fetch_penalty must be >= 0, "
+                f"got {self.remote_fetch_penalty}")
+        if self.remote_transfer_penalty < 0:
+            raise ConfigError(
+                f"remote_transfer_penalty must be >= 0, "
+                f"got {self.remote_transfer_penalty}")
         self.latency.validate()
         # line_shift is consulted on every simulated access; precompute it
         # once so the hot path reads a plain int instead of re-deriving it
@@ -152,3 +183,11 @@ class MachineConfig(ConfigBase):
     def word_of(self, addr: int) -> int:
         """Word index (within the whole address space) containing ``addr``."""
         return addr // self.word_size
+
+    def node_of(self, core: int) -> int:
+        """NUMA node of ``core`` (cores striped round-robin over nodes)."""
+        return core % self.numa_nodes
+
+    def home_node(self, line: int) -> int:
+        """Home NUMA node of cache line ``line`` (interleaved pages)."""
+        return line % self.numa_nodes

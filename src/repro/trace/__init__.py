@@ -13,18 +13,38 @@ provides that infrastructure for the reproduction:
   trace;
 - :func:`~repro.trace.replay.replay_into_detector` — drive any detector
   from a stored trace, enabling deterministic offline analysis and
-  detector A/B comparisons on identical access streams.
+  detector A/B comparisons on identical access streams;
+- :func:`~repro.trace.record.record_workload` /
+  :func:`~repro.trace.replay.replay_outcome` — the full ``repro record``
+  / ``repro replay`` pipeline: self-describing v2 traces (machine
+  config + allocation map in the ``#meta`` line) replayed through a
+  fresh coherence machine and the detector, yielding the same
+  three-way verdict as the live run.
 """
 
 from repro.trace.recorder import TraceRecord, TraceRecorder
-from repro.trace.replay import downsample, replay_into_detector
-from repro.trace.storage import load_trace, save_trace
+from repro.trace.record import record_workload, trace_meta, workload_verdict
+from repro.trace.replay import (
+    downsample,
+    replay_into_detector,
+    replay_outcome,
+)
+from repro.trace.storage import (
+    load_trace,
+    load_trace_meta,
+    save_trace,
+)
 
 __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "downsample",
     "load_trace",
+    "load_trace_meta",
+    "record_workload",
     "replay_into_detector",
+    "replay_outcome",
     "save_trace",
+    "trace_meta",
+    "workload_verdict",
 ]

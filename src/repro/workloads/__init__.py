@@ -16,15 +16,33 @@ false sharing bugs:
 Every workload supports ``fixed=True`` (the padded/fixed layout) so the
 *real* improvement of fixing can be measured as
 ``runtime(unfixed) / runtime(fixed)``.
+
+Beyond the paper's fork-join suites, :mod:`repro.workloads.concurrent`
+adds families real runtimes produce — producer/consumer rings,
+work-stealing deques, CAS-retry queues, seqlocks, NUMA ping-pong —
+each with a declared :class:`~repro.workloads.base.GroundTruth`.
 """
 
 from repro.workloads.base import (
+    GroundTruth,
+    Verdict,
     Workload,
     all_workload_names,
+    families,
     get_workload,
+    iter_workloads,
+    parameter_schema,
     register,
+    suites,
+    workload_info,
 )
-from repro.workloads import micro, parsec, phoenix, synthetic  # noqa: F401
+from repro.workloads import (  # noqa: F401
+    concurrent,
+    micro,
+    parsec,
+    phoenix,
+    synthetic,
+)
 from repro.workloads.micro import ArrayIncrement
 from repro.workloads.synthetic import SyntheticSharing
 
@@ -46,14 +64,28 @@ FIGURE4_NAMES = [
     "streamcluster", "swaptions", "word_count", "x264",
 ]
 
+# The concurrent families (one workload per family), detection-table order.
+CONCURRENT_NAMES = [
+    "producer_consumer_ring", "work_stealing_deque", "cas_retry_queue",
+    "seqlock_read_mostly", "numa_ping_pong",
+]
+
 __all__ = [
     "ArrayIncrement",
     "SyntheticSharing",
+    "CONCURRENT_NAMES",
     "FIGURE4_NAMES",
     "PARSEC_NAMES",
     "PHOENIX_NAMES",
+    "GroundTruth",
+    "Verdict",
     "Workload",
     "all_workload_names",
+    "families",
     "get_workload",
+    "iter_workloads",
+    "parameter_schema",
     "register",
+    "suites",
+    "workload_info",
 ]

@@ -1,23 +1,203 @@
-"""Workload base class and registry.
+"""Workload base class, structured ground truth and the queryable registry.
 
 A workload bundles: global-variable declarations (:meth:`Workload.setup`),
-a fork-join ``main`` generator (:meth:`Workload.main`), and a ``fixed``
-switch selecting the padded layout that eliminates its false sharing (if
-it has any). The ``scale`` knob multiplies iteration counts so tests can
-run small while benchmarks run at full size.
+a ``main`` generator (:meth:`Workload.main`), and a ``fixed`` switch
+selecting the padded layout that eliminates its false sharing (if it has
+any). The ``scale`` knob multiplies iteration counts so tests can run
+small while benchmarks run at full size.
+
+Every workload declares a structured :class:`GroundTruth` — the sharing
+verdict the detector *should* reach on the default (unfixed) layout —
+replacing the pre-v2 ``documented_false_sharing`` /
+``significant_false_sharing`` boolean pair (still readable through
+deprecation shims). The registry is queryable: :func:`iter_workloads`
+filters by suite, family and verdict, and :func:`parameter_schema`
+exposes each workload's constructor knobs for CLI/HTTP listings.
 """
 
 from __future__ import annotations
 
 import abc
+import difflib
+import enum
 import inspect
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Type
+import warnings
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.errors import ConfigError
 from repro.symbols.table import SymbolTable
 
 _REGISTRY: Dict[str, Type["Workload"]] = {}
+
+
+class Verdict(enum.Enum):
+    """The sharing classification a detector should reach on a workload.
+
+    Values mirror :class:`repro.core.detection.SharingKind` so ground
+    truth and detector output compare directly (by ``.value``) without a
+    workloads -> core import edge.
+    """
+
+    FALSE_SHARING = "false sharing"
+    TRUE_SHARING = "true sharing"
+    NONE = "no sharing"
+
+    @classmethod
+    def coerce(cls, value: Union["Verdict", str]) -> "Verdict":
+        """A :class:`Verdict` from itself, its value, or its name."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            for member in cls:
+                if value == member.value or value == member.name:
+                    return member
+        known = ", ".join(m.value for m in cls)
+        raise ConfigError(f"unknown verdict {value!r} (known: {known})")
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Declared sharing behaviour of a workload's default (unfixed) layout.
+
+    Attributes:
+        verdict: the classification the detector should reach.
+        significant: for ``FALSE_SHARING`` verdicts, whether the instance
+            is impactful enough that Cheetah must report it (False for
+            the Figure 7 trio, whose false sharing is real but negligible
+            and deliberately missed by sampling).
+        expected_objects: label substrings (heap callsites or global
+            symbol names) of the objects carrying the sharing, so tests
+            can check *what* was reported, not just that something was.
+        expected_lines: number of distinct falsely-shared cache lines
+            the default layout produces, when it is a stable small
+            number (``None``: unspecified).
+        expected_fix_speedup: the speedup the padding fix should yield
+            (the paper's Table 1 numbers where applicable; ``None``:
+            unspecified or no fix exists).
+        note: one-line rationale, shown by ``repro workloads list``.
+    """
+
+    verdict: Verdict = Verdict.NONE
+    significant: bool = False
+    expected_objects: Tuple[str, ...] = ()
+    expected_lines: Optional[int] = None
+    expected_fix_speedup: Optional[float] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "verdict", Verdict.coerce(self.verdict))
+        object.__setattr__(self, "expected_objects",
+                           tuple(self.expected_objects))
+        if self.significant and self.verdict is not Verdict.FALSE_SHARING:
+            raise ConfigError(
+                "GroundTruth.significant applies only to FALSE_SHARING "
+                f"verdicts, got {self.verdict.value!r}")
+        if self.expected_lines is not None and self.expected_lines < 1:
+            raise ConfigError("GroundTruth.expected_lines must be >= 1")
+        if (self.expected_fix_speedup is not None
+                and self.expected_fix_speedup <= 0):
+            raise ConfigError(
+                "GroundTruth.expected_fix_speedup must be positive")
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def false_sharing(cls, *, significant: bool = True,
+                      objects: Sequence[str] = (),
+                      lines: Optional[int] = None,
+                      fix_speedup: Optional[float] = None,
+                      note: str = "") -> "GroundTruth":
+        return cls(verdict=Verdict.FALSE_SHARING, significant=significant,
+                   expected_objects=tuple(objects), expected_lines=lines,
+                   expected_fix_speedup=fix_speedup, note=note)
+
+    @classmethod
+    def true_sharing(cls, *, objects: Sequence[str] = (),
+                     note: str = "") -> "GroundTruth":
+        return cls(verdict=Verdict.TRUE_SHARING,
+                   expected_objects=tuple(objects), note=note)
+
+    @classmethod
+    def none(cls, *, note: str = "") -> "GroundTruth":
+        return cls(verdict=Verdict.NONE, note=note)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def matches(self, kind: Any) -> bool:
+        """Whether a detector classification agrees with this verdict.
+
+        ``kind`` may be a :class:`Verdict`, a
+        :class:`~repro.core.detection.SharingKind`, or either's string
+        value — the enums share their value vocabulary.
+        """
+        value = kind.value if isinstance(kind, enum.Enum) else str(kind)
+        return value == self.verdict.value
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict.value,
+            "significant": self.significant,
+            "expected_objects": list(self.expected_objects),
+            "expected_lines": self.expected_lines,
+            "expected_fix_speedup": self.expected_fix_speedup,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GroundTruth":
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"GroundTruth.from_dict expects a mapping, "
+                f"got {type(data).__name__}")
+        known = {"verdict", "significant", "expected_objects",
+                 "expected_lines", "expected_fix_speedup", "note"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown GroundTruth key(s): {', '.join(unknown)}")
+        kwargs = dict(data)
+        if "expected_objects" in kwargs:
+            kwargs["expected_objects"] = tuple(kwargs["expected_objects"])
+        return cls(**kwargs)
+
+
+class _DeprecatedFlag:
+    """Pre-v2 boolean attribute, derived from :attr:`Workload.ground_truth`.
+
+    Works for both class and instance access (``cls.documented_false_sharing``
+    and ``workload.documented_false_sharing``), emitting a
+    DeprecationWarning either way.
+    """
+
+    def __init__(self, name: str,
+                 derive: Callable[[GroundTruth], bool]) -> None:
+        self._name = name
+        self._derive = derive
+
+    def __get__(self, obj, objtype=None) -> bool:
+        warnings.warn(
+            f"Workload.{self._name} is deprecated; read "
+            "Workload.ground_truth (verdict/significant) instead",
+            DeprecationWarning, stacklevel=2)
+        truth = (obj.ground_truth if obj is not None
+                 else objtype.ground_truth)
+        return self._derive(truth)
 
 
 def register(cls: Type["Workload"]) -> Type["Workload"]:
@@ -27,21 +207,106 @@ def register(cls: Type["Workload"]) -> Type["Workload"]:
         raise ConfigError(f"workload class {cls.__name__} has no name")
     if name in _REGISTRY:
         raise ConfigError(f"duplicate workload name '{name}'")
+    if not isinstance(cls.ground_truth, GroundTruth):
+        raise ConfigError(
+            f"workload '{name}' must declare ground_truth as a "
+            f"GroundTruth, got {type(cls.ground_truth).__name__}")
     _REGISTRY[name] = cls
     return cls
 
 
 def get_workload(name: str) -> Type["Workload"]:
-    """Workload class by name; raises :class:`ConfigError` if unknown."""
+    """Workload class by name; raises :class:`ConfigError` if unknown,
+    suggesting the nearest registered name."""
     try:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise ConfigError(f"unknown workload '{name}' (known: {known})") from None
+        close = difflib.get_close_matches(name, _REGISTRY, n=1)
+        hint = f"; did you mean '{close[0]}'?" if close else ""
+        raise ConfigError(
+            f"unknown workload '{name}'{hint} (known: {known})") from None
 
 
 def all_workload_names() -> List[str]:
     return sorted(_REGISTRY)
+
+
+def iter_workloads(*, suite: Optional[str] = None,
+                   family: Optional[str] = None,
+                   verdict: Optional[Union[Verdict, str]] = None,
+                   significant: Optional[bool] = None,
+                   ) -> Iterator[Type["Workload"]]:
+    """Registered workload classes, in name order, optionally filtered.
+
+    ``verdict`` accepts a :class:`Verdict` or its string value;
+    ``significant`` filters on ``ground_truth.significant``.
+    """
+    want = Verdict.coerce(verdict) if verdict is not None else None
+    for name in sorted(_REGISTRY):
+        cls = _REGISTRY[name]
+        if suite is not None and cls.suite != suite:
+            continue
+        if family is not None and cls.family != family:
+            continue
+        if want is not None and cls.ground_truth.verdict is not want:
+            continue
+        if (significant is not None
+                and cls.ground_truth.significant != significant):
+            continue
+        yield cls
+
+
+def families() -> List[str]:
+    """Every distinct workload family, sorted."""
+    return sorted({cls.family for cls in _REGISTRY.values()})
+
+
+def suites() -> List[str]:
+    """Every distinct workload suite, sorted."""
+    return sorted({cls.suite for cls in _REGISTRY.values()})
+
+
+def parameter_schema(cls: Type["Workload"]) -> Dict[str, Dict[str, Any]]:
+    """Constructor-parameter schema of a workload class.
+
+    One entry per ``__init__`` parameter (excluding ``self``), carrying
+    the default value and, when an annotation is present, its string
+    form. Drives ``repro workloads list --json`` and the daemon's
+    ``GET /v1/workloads``.
+    """
+    sig = inspect.signature(cls.__init__)
+    schema: Dict[str, Dict[str, Any]] = {}
+    for name, param in sig.parameters.items():
+        if name == "self" or param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD):
+            continue
+        entry: Dict[str, Any] = {
+            "required": param.default is inspect.Parameter.empty,
+        }
+        if param.default is not inspect.Parameter.empty:
+            entry["default"] = param.default
+        if param.annotation is not inspect.Parameter.empty:
+            entry["type"] = (param.annotation
+                             if isinstance(param.annotation, str)
+                             else getattr(param.annotation, "__name__",
+                                          str(param.annotation)))
+        schema[name] = entry
+    return schema
+
+
+def workload_info(cls: Type["Workload"]) -> Dict[str, Any]:
+    """JSON-ready description of one registered workload."""
+    return {
+        "name": cls.name,
+        "suite": cls.suite,
+        "family": cls.family,
+        "default_threads": cls.default_threads,
+        "ground_truth": cls.ground_truth.to_dict(),
+        "machine_defaults": dict(cls.machine_defaults),
+        "parameters": parameter_schema(cls),
+    }
 
 
 class Workload(abc.ABC):
@@ -49,20 +314,37 @@ class Workload(abc.ABC):
 
     Class attributes:
         name: registry key (e.g. ``"linear_regression"``).
-        suite: ``"phoenix"``, ``"parsec"`` or ``"micro"``.
-        documented_false_sharing: True when the paper documents a false
-            sharing problem in this application.
-        significant_false_sharing: True when that problem is significant
-            enough that Cheetah should report it (False for the Figure 7
-            trio, which Cheetah intentionally misses).
+        suite: ``"phoenix"``, ``"parsec"``, ``"micro"`` or
+            ``"concurrent"``.
+        family: the concurrency shape — ``"fork_join"`` for the paper's
+            17 applications, or one of the concurrent families
+            (``"producer_consumer"``, ``"work_stealing"``,
+            ``"lock_free"``, ``"seqlock"``, ``"numa"``).
+        ground_truth: the declared :class:`GroundTruth` of the default
+            (unfixed) layout. ``fixed=True`` layouts of false-sharing
+            workloads are expected to classify as no sharing.
+        machine_defaults: :class:`~repro.sim.params.MachineConfig`
+            overrides the workload is designed around (e.g. NUMA
+            latency knobs); consumers that honor them build the machine
+            via ``MachineConfig(**cls.machine_defaults)``.
         default_threads: thread count used by the paper's evaluation.
     """
 
     name: str = ""
     suite: str = ""
-    documented_false_sharing: bool = False
-    significant_false_sharing: bool = False
+    family: str = "fork_join"
+    ground_truth: GroundTruth = GroundTruth()
+    machine_defaults: Mapping[str, Any] = {}
     default_threads: int = 16
+
+    #: Deprecated boolean pair (pre-v2), derived from ``ground_truth``.
+    documented_false_sharing = _DeprecatedFlag(
+        "documented_false_sharing",
+        lambda truth: truth.verdict is Verdict.FALSE_SHARING)
+    significant_false_sharing = _DeprecatedFlag(
+        "significant_false_sharing",
+        lambda truth: (truth.verdict is Verdict.FALSE_SHARING
+                       and truth.significant))
 
     def __init__(self, num_threads: Optional[int] = None, scale: float = 1.0,
                  fixed: bool = False, seed: int = 0):
@@ -149,7 +431,14 @@ class Workload(abc.ABC):
             ) from exc
 
     def describe(self) -> str:
-        fs = "has documented FS" if self.documented_false_sharing else "no FS"
+        truth = self.ground_truth
+        if truth.verdict is Verdict.FALSE_SHARING:
+            fs = ("significant FS" if truth.significant
+                  else "negligible FS")
+        elif truth.verdict is Verdict.TRUE_SHARING:
+            fs = "true sharing"
+        else:
+            fs = "no FS"
         layout = "fixed layout" if self.fixed else "original layout"
         return (f"{self.name} ({self.suite}, {self.num_threads} threads, "
                 f"scale {self.scale:g}, {layout}, {fs})")

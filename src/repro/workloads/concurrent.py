@@ -1,0 +1,332 @@
+"""Concurrent workload families beyond fork-join.
+
+The paper's 17 applications all follow one shape — fork, hammer, join —
+so everything downstream (detector thresholds, prediction, streaming)
+was only ever exercised on that pattern. These workloads reproduce the
+access patterns real concurrent runtimes generate:
+
+- :class:`ProducerConsumerRing` — bounded SPSC rings; the *intended*
+  communication (slot hand-off) is true sharing, while the packed
+  per-thread cursor words falsely share;
+- :class:`WorkStealingDeque` — Chase-Lev-style deques; owners hammer
+  their packed ``bottom`` words (false sharing), thieves CAS victims'
+  line-aligned ``top`` words (true sharing);
+- :class:`CASRetryQueue` — a lock-free MPSC queue head under CAS retry
+  storms: heavy invalidation traffic that is *all* true sharing, the
+  classic detector false-positive bait;
+- :class:`SeqlockReadMostly` — one writer bumping a seqlock, many
+  readers spinning on the same words: true sharing, read-dominated;
+- :class:`NumaPingPong` — packed per-thread counters ping-ponging
+  between NUMA nodes; ships :attr:`~Workload.machine_defaults` enabling
+  the :class:`~repro.sim.params.MachineConfig` remote-latency knobs.
+
+Layout discipline matters here: a falsely-shared line must contain only
+single-toucher words, so every *communicating* word (ring slots, deque
+tops, queue head, seqlock words) lives in its own allocation. That is
+exactly how the real bugs look — the bug object and the communication
+object are distinct — and it keeps each workload's ground truth crisp.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import GroundTruth, Workload, register
+
+
+@register
+class ProducerConsumerRing(Workload):
+    """Bounded single-producer/single-consumer rings, one per thread pair.
+
+    Each pair shares a small ring of slots (intended communication: the
+    producer stores a slot, the consumer loads the same slot — true
+    sharing). Both threads also bump their own progress cursor once per
+    item; the cursors of *all* threads are packed 4 bytes apart in one
+    allocation, so neighbouring pairs' cursors falsely share a line.
+    The ``fixed`` layout pads each cursor to its own line.
+    """
+
+    name = "producer_consumer_ring"
+    suite = "concurrent"
+    family = "producer_consumer"
+    ground_truth = GroundTruth.false_sharing(
+        objects=("concurrent.py:pc_cursors",), lines=1,
+        note="packed per-thread cursors; ring slots are true sharing")
+    default_threads = 8
+
+    RING_SLOTS = 8
+    ITEMS_PER_PAIR = 1200
+    WORK_PER_ITEM = 6
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        # One producer + one consumer per pair; force an even count >= 2.
+        self.num_threads = max(2, self.num_threads - self.num_threads % 2)
+        self.items = self.scaled(self.ITEMS_PER_PAIR)
+
+    def cursor_stride(self) -> int:
+        return 64 if self.fixed else 4
+
+    def main(self, api):
+        pairs = self.num_threads // 2
+        stride = self.cursor_stride()
+        # Every thread's progress cursor, packed (the bug object).
+        cursors = yield from api.malloc(self.num_threads * stride,
+                                        callsite="concurrent.py:pc_cursors")
+        args = []
+        for pair in range(pairs):
+            # The pair's ring: communication object, one per pair.
+            ring = yield from api.malloc(self.RING_SLOTS * 4,
+                                         callsite="concurrent.py:pc_ring")
+            producer_cursor = cursors + (2 * pair) * stride
+            consumer_cursor = cursors + (2 * pair + 1) * stride
+            args.append((ring, producer_cursor, True))
+            args.append((ring, consumer_cursor, False))
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, ring, cursor, is_producer):
+        for item in range(self.items):
+            slot = ring + (item % self.RING_SLOTS) * 4
+            if is_producer:
+                yield from api.store(slot)
+            else:
+                yield from api.load(slot)
+            # Publish progress: RMW this thread's own (packed) cursor.
+            yield from api.update(cursor)
+            yield from api.work(self.WORK_PER_ITEM)
+
+
+@register
+class WorkStealingDeque(Workload):
+    """Chase-Lev-style work-stealing deques, one per worker.
+
+    Owners push/pop by hammering their own ``bottom`` index; all bottoms
+    are packed 4 bytes apart (false sharing; ``fixed`` pads them).
+    Every few operations a worker steals: it CASes the victim's ``top``
+    word and reads the victim's task slot — both true sharing, kept in
+    separate line-aligned allocations so they cannot contaminate the
+    bottoms line.
+    """
+
+    name = "work_stealing_deque"
+    suite = "concurrent"
+    family = "work_stealing"
+    ground_truth = GroundTruth.false_sharing(
+        objects=("concurrent.py:ws_bottoms",), lines=1,
+        note="packed owner bottom indices; steals (tops) are true sharing")
+    default_threads = 8
+
+    OPS_PER_WORKER = 1200
+    STEAL_EVERY = 16
+    TASK_WORDS = 16
+    WORK_PER_OP = 5
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.num_threads = max(2, self.num_threads)
+        self.ops = self.scaled(self.OPS_PER_WORKER)
+
+    def bottom_stride(self) -> int:
+        return 64 if self.fixed else 4
+
+    def main(self, api):
+        n = self.num_threads
+        stride = self.bottom_stride()
+        # Owner-hammered bottom indices, packed (the bug object).
+        bottoms = yield from api.malloc(n * stride,
+                                        callsite="concurrent.py:ws_bottoms")
+        # Thief-CASed top indices: one line each (true sharing, isolated).
+        tops = yield from api.malloc(n * 64, callsite="concurrent.py:ws_tops")
+        # Per-worker task arrays: one line each; word 0 is what thieves read.
+        tasks = yield from api.malloc(n * self.TASK_WORDS * 4 + n * 64,
+                                      callsite="concurrent.py:ws_tasks")
+        task_stride = self.TASK_WORDS * 4 + 64
+        args = []
+        for i in range(n):
+            victim = (i + 1) % n
+            args.append((bottoms + i * stride,
+                         tasks + i * task_stride,
+                         tops + victim * 64,
+                         tasks + victim * task_stride))
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, bottom, my_tasks, victim_top, victim_tasks):
+        for op in range(self.ops):
+            if op % self.STEAL_EVERY == 0:
+                # steal(): CAS the victim's top, read its task slot 0.
+                yield from api.update(victim_top)
+                yield from api.load(victim_tasks)
+            else:
+                # push/pop: write a task slot, bump own bottom.
+                yield from api.store(
+                    my_tasks + (op % self.TASK_WORDS) * 4)
+                yield from api.update(bottom)
+            yield from api.work(self.WORK_PER_OP)
+
+
+@register
+class CASRetryQueue(Workload):
+    """Lock-free MPSC queue head under CAS retry storms.
+
+    Every thread enqueues by read-modify-writing the single shared head
+    word, retrying a few times under contention; node payloads are
+    written to private line-aligned arenas. The head line takes massive
+    invalidation traffic, but every access lands on the same word —
+    textbook *true* sharing. A detector that reports it is wrong;
+    ``fixed`` is deliberately a no-op (there is nothing to pad away).
+    """
+
+    name = "cas_retry_queue"
+    suite = "concurrent"
+    family = "lock_free"
+    ground_truth = GroundTruth.true_sharing(
+        objects=("concurrent.py:casq_head",),
+        note="all threads CAS one head word; padding cannot help")
+    default_threads = 8
+
+    ENQUEUES_PER_THREAD = 600
+    RETRIES = 2
+    NODE_WORDS = 4
+    WORK_PER_ENQUEUE = 8
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.num_threads = max(2, self.num_threads)
+        self.enqueues = self.scaled(self.ENQUEUES_PER_THREAD)
+
+    def main(self, api):
+        n = self.num_threads
+        # The shared queue head: one word, its own allocation.
+        head = yield from api.malloc(64, callsite="concurrent.py:casq_head")
+        # Per-thread node arenas, line-aligned (private).
+        arena_bytes = self.enqueues * self.NODE_WORDS * 4
+        arena_bytes += (-arena_bytes) % 64
+        nodes = yield from api.malloc(n * arena_bytes,
+                                      callsite="concurrent.py:casq_nodes")
+        args = [(head, nodes + i * arena_bytes) for i in range(n)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, head, arena):
+        node_bytes = self.NODE_WORDS * 4
+        for i in range(self.enqueues):
+            # Fill the node (private writes).
+            yield from api.loop(arena + i * node_bytes, 4, self.NODE_WORDS,
+                                read=False, write=True, work=1)
+            # CAS loop on the shared head: load, (fail), retry, publish.
+            for _ in range(self.RETRIES):
+                yield from api.load(head)
+                yield from api.work(1)
+            yield from api.update(head)
+            yield from api.work(self.WORK_PER_ENQUEUE)
+
+
+@register
+class SeqlockReadMostly(Workload):
+    """One writer bumping a seqlock, many readers spinning on it.
+
+    The writer read-modify-writes the sequence word and the guarded data
+    words; every reader loads the same words (seq, data, seq again).
+    All traffic shares words across threads — true sharing, heavily
+    read-dominated. ``fixed`` is a no-op.
+    """
+
+    name = "seqlock_read_mostly"
+    suite = "concurrent"
+    family = "seqlock"
+    ground_truth = GroundTruth.true_sharing(
+        objects=("concurrent.py:seqlock",),
+        note="readers and the writer touch the same seq/data words")
+    default_threads = 8
+
+    WRITER_UPDATES = 800
+    READS_PER_READER = 1600
+    DATA_WORDS = 6
+    WORK_PER_OP = 4
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.num_threads = max(2, self.num_threads)
+        self.updates = self.scaled(self.WRITER_UPDATES)
+        self.reads = self.scaled(self.READS_PER_READER)
+
+    def main(self, api):
+        # seq word + data words, one allocation (one line).
+        lock = yield from api.malloc((1 + self.DATA_WORDS) * 4,
+                                     callsite="concurrent.py:seqlock")
+        args = [(lock, True)]
+        args += [(lock, False)] * (self.num_threads - 1)
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, lock, is_writer):
+        data = lock + 4
+        if is_writer:
+            for _ in range(self.updates):
+                yield from api.update(lock)      # seq: odd (write begins)
+                yield from api.loop(data, 4, self.DATA_WORDS, read=True,
+                                    write=True, work=1)
+                yield from api.update(lock)      # seq: even (write ends)
+                yield from api.work(self.WORK_PER_OP)
+        else:
+            for _ in range(self.reads):
+                yield from api.load(lock)        # seq before
+                yield from api.loop(data, 4, self.DATA_WORDS, write=False,
+                                    work=1)
+                yield from api.load(lock)        # seq after
+                yield from api.work(self.WORK_PER_OP)
+
+
+@register
+class NumaPingPong(Workload):
+    """Packed per-thread counters ping-ponging across NUMA nodes.
+
+    Identical in shape to :class:`~repro.workloads.micro.ArrayIncrement`
+    — each thread increments its own packed 4-byte counter — but
+    designed for a two-node machine: the engine binds thread ``tid`` to
+    core ``tid % num_cores``, so with ``numa_nodes=2`` neighbouring
+    counters belong to threads on *different* nodes and every false
+    invalidation also pays the remote-transfer penalty. The workload's
+    :attr:`machine_defaults` carry the NUMA knobs; detection math is
+    unchanged (the penalty only inflates the latency cost of the same
+    false sharing, as on real asymmetric-latency machines).
+    """
+
+    name = "numa_ping_pong"
+    suite = "concurrent"
+    family = "numa"
+    ground_truth = GroundTruth.false_sharing(
+        objects=("concurrent.py:numa_slots",), lines=1,
+        note="packed counters; remote-node invalidations cost extra")
+    machine_defaults = {
+        "numa_nodes": 2,
+        "remote_fetch_penalty": 60,
+        "remote_transfer_penalty": 40,
+    }
+    default_threads = 8
+
+    ITERS_PER_THREAD = 1400
+    PRIVATE_WORDS = 8
+    WORK_PER_ITER = 10
+
+    def __init__(self, num_threads=None, scale=1.0, fixed=False, seed=0):
+        super().__init__(num_threads, scale, fixed, seed)
+        self.num_threads = max(2, self.num_threads)
+        self.iters = self.scaled(self.ITERS_PER_THREAD)
+
+    def slot_stride(self) -> int:
+        return 64 if self.fixed else 4
+
+    def main(self, api):
+        n = self.num_threads
+        stride = self.slot_stride()
+        slots = yield from api.malloc(n * stride,
+                                      callsite="concurrent.py:numa_slots")
+        # Line-aligned private scratch, one per thread.
+        scratch = yield from api.malloc(n * 64,
+                                        callsite="concurrent.py:numa_scratch")
+        args = [(slots + i * stride, scratch + i * 64) for i in range(n)]
+        yield from self.fork_join(api, self._worker, args)
+
+    def _worker(self, api, slot, scratch):
+        for _ in range(self.iters):
+            yield from api.loop(scratch, 4, self.PRIVATE_WORDS, read=True,
+                                write=False, work=1)
+            yield from api.loop(slot, 0, 1, read=True, write=True,
+                                work=self.WORK_PER_ITER)

@@ -21,7 +21,7 @@ fix of Section 1), restoring near-linear scaling.
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload, register
+from repro.workloads.base import GroundTruth, Workload, register
 
 
 @register
@@ -30,8 +30,9 @@ class ArrayIncrement(Workload):
 
     name = "array_increment"
     suite = "micro"
-    documented_false_sharing = True
-    significant_false_sharing = True
+    ground_truth = GroundTruth.false_sharing(
+        objects=("micro.py:array",), lines=1, fix_speedup=13.0,
+        note="Figure 1: adjacent 4-byte counters pack one cache line")
     default_threads = 8
 
     #: Total array elements; 16 ints = exactly one 64-byte cache line, the

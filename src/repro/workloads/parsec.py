@@ -12,7 +12,7 @@ instruction mixes.
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload, register
+from repro.workloads.base import GroundTruth, Workload, register
 from repro.workloads.phoenix import STREAMCLUSTER_CALLSITE
 
 
@@ -29,8 +29,9 @@ class StreamCluster(Workload):
 
     name = "streamcluster"
     suite = "parsec"
-    documented_false_sharing = True
-    significant_false_sharing = True
+    ground_truth = GroundTruth.false_sharing(
+        objects=(STREAMCLUSTER_CALLSITE,), fix_speedup=1.03,
+        note="work_mem padded for 32-byte lines on a 64-byte machine")
 
     #: The authors' (wrong) CACHE_LINE macro value.
     SLOT_BYTES = 32
@@ -93,7 +94,7 @@ class BlackScholes(Workload):
 
     name = "blackscholes"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="embarrassingly parallel option pricing")
 
     OPTIONS_PER_THREAD = 700
     WORDS_PER_OPTION = 6
@@ -129,7 +130,7 @@ class BodyTrack(Workload):
 
     name = "bodytrack"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="shared model is read-only in the parallel phase")
 
     FRAMES = 4
     MODEL_WORDS = 512
@@ -172,7 +173,7 @@ class Canneal(Workload):
 
     name = "canneal"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="collisions spread uniformly; no object accumulates")
 
     ELEMENTS = 40_000
     SWAPS_PER_THREAD = 500
@@ -208,7 +209,7 @@ class FaceSim(Workload):
 
     name = "facesim"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="private mesh partitions")
 
     NODES_PER_THREAD = 1_024
     SWEEPS = 6
@@ -236,7 +237,7 @@ class FluidAnimate(Workload):
 
     name = "fluidanimate"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="boundary reads only; no shared writes")
 
     CELLS_PER_THREAD = 768
     STEPS = 5
@@ -272,7 +273,7 @@ class FreqMine(Workload):
 
     name = "freqmine"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="shared FP-tree is read-only")
 
     TREE_WORDS = 2_048
     TRANSACTIONS_PER_THREAD = 600
@@ -310,7 +311,7 @@ class Swaptions(Workload):
 
     name = "swaptions"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="line-aligned per-thread path state")
 
     SIMS_PER_THREAD = 400
     #: One full cache line per thread's path state (16 words x 4 bytes):
@@ -346,7 +347,7 @@ class X264(Workload):
 
     name = "x264"
     suite = "parsec"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="per-slice buffers; Figure 4 overhead outlier")
 
     FRAMES = 64  # 64 frames x 16 slice threads = 1024 threads
     MACROBLOCKS_PER_THREAD = 24

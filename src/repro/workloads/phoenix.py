@@ -9,7 +9,7 @@ the Figure 7 trio whose false sharing is real but negligible.
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload, register
+from repro.workloads.base import GroundTruth, Workload, register
 
 # The callsite string the paper's Figure 5 prints for the tid_args
 # allocation; kept verbatim as the allocation label.
@@ -31,8 +31,9 @@ class LinearRegression(Workload):
 
     name = "linear_regression"
     suite = "phoenix"
-    documented_false_sharing = True
-    significant_false_sharing = True
+    ground_truth = GroundTruth.false_sharing(
+        objects=(LINEAR_REGRESSION_CALLSITE,), fix_speedup=5.7,
+        note="adjacent 56-byte lreg_args structs share lines (Fig. 6)")
 
     #: sizeof(lreg_args): pointer + num_elems + 5 accumulators, 7 x 8 bytes.
     STRUCT_SIZE = 56
@@ -115,8 +116,9 @@ class Histogram(Workload):
 
     name = "histogram"
     suite = "phoenix"
-    documented_false_sharing = True
-    significant_false_sharing = False
+    ground_truth = GroundTruth.false_sharing(
+        significant=False, objects=("thread_stats",),
+        note="Figure 7: real but negligible; sampling should miss it")
 
     PIXELS_PER_THREAD = 12_000
     BLOCK = 64
@@ -169,8 +171,9 @@ class ReverseIndex(Workload):
 
     name = "reverse_index"
     suite = "phoenix"
-    documented_false_sharing = True
-    significant_false_sharing = False
+    ground_truth = GroundTruth.false_sharing(
+        significant=False, objects=("link_counts",),
+        note="Figure 7: real but negligible; sampling should miss it")
 
     WORDS_PER_THREAD = 10_000
     BLOCK = 128
@@ -219,8 +222,9 @@ class WordCount(Workload):
 
     name = "word_count"
     suite = "phoenix"
-    documented_false_sharing = True
-    significant_false_sharing = False
+    ground_truth = GroundTruth.false_sharing(
+        significant=False, objects=("word_totals",),
+        note="Figure 7: real but negligible; sampling should miss it")
 
     WORDS_PER_THREAD = 8_000
     BLOCK = 96
@@ -271,7 +275,7 @@ class KMeans(Workload):
 
     name = "kmeans"
     suite = "phoenix"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="many short-lived threads; Figure 4 overhead outlier")
 
     ITERATIONS = 14  # 14 x 16 threads = the paper's 224 threads
     POINTS_PER_THREAD = 60
@@ -318,7 +322,7 @@ class MatrixMultiply(Workload):
 
     name = "matrix_multiply"
     suite = "phoenix"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="disjoint output rows")
 
     N = 40  # square matrix dimension
 
@@ -355,7 +359,7 @@ class PCA(Workload):
 
     name = "pca"
     suite = "phoenix"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="two fork-join phases, private rows")
 
     ROWS = 384
     COLS = 48
@@ -397,7 +401,7 @@ class StringMatch(Workload):
 
     name = "string_match"
     suite = "phoenix"
-    documented_false_sharing = False
+    ground_truth = GroundTruth.none(note="pure private scanning")
 
     WORDS_PER_THREAD = 9_000
     WORK_PER_WORD = 5

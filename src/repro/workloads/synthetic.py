@@ -20,9 +20,25 @@ over the whole classification matrix:
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.workloads.base import Workload, register
+from repro.workloads.base import GroundTruth, Workload, register
 
 PATTERNS = ("false", "true", "read", "private", "inter_object")
+
+#: Ground truth per pattern; instances override the class default so
+#: ``workload.ground_truth`` always describes the *configured* pattern.
+PATTERN_TRUTH = {
+    "false": GroundTruth.false_sharing(
+        objects=("synthetic.py:region",), lines=1,
+        note="threads write disjoint words of one shared line"),
+    "true": GroundTruth.true_sharing(
+        objects=("synthetic.py:region",),
+        note="every thread read-modify-writes the same word"),
+    "read": GroundTruth.none(note="read-only sharing, no invalidations"),
+    "private": GroundTruth.none(note="each thread on its own lines"),
+    "inter_object": GroundTruth.none(
+        note="per-thread tiny objects; the Cheetah heap line-isolates "
+             "them (a packing bump allocator would falsely share)"),
+}
 
 
 @register
@@ -31,6 +47,7 @@ class SyntheticSharing(Workload):
 
     name = "synthetic"
     suite = "micro"
+    ground_truth = PATTERN_TRUTH["false"]
     default_threads = 8
 
     ITERATIONS = 800
@@ -43,6 +60,7 @@ class SyntheticSharing(Workload):
             raise ConfigError(
                 f"unknown pattern '{pattern}' (choose from {PATTERNS})")
         self.pattern = pattern
+        self.ground_truth = PATTERN_TRUTH[pattern]
         self.iterations = self.scaled(self.ITERATIONS)
 
     def main(self, api):

@@ -216,3 +216,116 @@ class TestValidate:
                      "--iterations", "1"]) == 0
         out = capsys.readouterr().out
         assert "seeds 49374..49374" in out
+
+
+class TestWorkloadsCommand:
+    def test_list_all(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "producer_consumer_ring" in out
+        assert "false sharing (significant)" in out
+        assert "true sharing" in out
+
+    def test_suite_filter(self, capsys):
+        assert main(["workloads", "list", "--suite", "concurrent"]) == 0
+        out = capsys.readouterr().out
+        assert "cas_retry_queue" in out
+        assert "linear_regression" not in out
+
+    def test_family_and_verdict_filters_json(self, capsys):
+        import json as json_mod
+        assert main(["workloads", "list", "--family", "numa",
+                     "--json"]) == 0
+        rows = json_mod.loads(capsys.readouterr().out)
+        assert [r["name"] for r in rows] == ["numa_ping_pong"]
+        assert rows[0]["ground_truth"]["verdict"] == "false sharing"
+        assert rows[0]["machine_defaults"]["numa_nodes"] == 2
+        assert "scale" in rows[0]["parameters"]
+
+    def test_significant_filter(self, capsys):
+        import json as json_mod
+        assert main(["workloads", "list", "--verdict", "false_sharing",
+                     "--significant", "--json"]) == 0
+        rows = json_mod.loads(capsys.readouterr().out)
+        names = [r["name"] for r in rows]
+        assert "linear_regression" in names
+        assert "histogram" not in names
+
+
+class TestRecordReplay:
+    def test_record_then_replay_matches_live(self, tmp_path, capsys):
+        trace = str(tmp_path / "pc.trace.gz")
+        assert main(["record", "producer_consumer_ring", "--scale", "0.4",
+                     "--out", trace]) == 0
+        out = capsys.readouterr().out
+        assert "live verdict:  false sharing" in out
+        code = main(["replay", trace,
+                     "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0  # false sharing found
+        assert "verdict:        false sharing" in out
+        assert "matches replay" in out
+
+    def test_replay_warm_cache_same_verdict(self, tmp_path, capsys):
+        import json as json_mod
+        trace = str(tmp_path / "ws.trace")
+        assert main(["record", "work_stealing_deque", "--scale", "0.4",
+                     "--out", trace, "--json"]) == 0
+        capsys.readouterr()
+        cache = str(tmp_path / "cache")
+        assert main(["replay", trace, "--cache-dir", cache,
+                     "--json"]) == 0
+        cold = json_mod.loads(capsys.readouterr().out)
+        assert main(["replay", trace, "--cache-dir", cache,
+                     "--json"]) == 0
+        warm = json_mod.loads(capsys.readouterr().out)
+        assert cold["from_cache"] is False
+        assert warm["from_cache"] is True
+        assert warm["verdict"] == cold["verdict"] == "false sharing"
+        assert warm["objects"] == cold["objects"]
+
+    def test_replay_period_downsamples(self, tmp_path, capsys):
+        import json as json_mod
+        trace = str(tmp_path / "pc.trace")
+        assert main(["record", "producer_consumer_ring", "--scale", "0.4",
+                     "--out", trace, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["replay", trace, "--no-cache", "--period", "8",
+                     "--json"]) == 0
+        data = json_mod.loads(capsys.readouterr().out)
+        assert data["replayed_samples"] < data["trace_records"]
+
+    def test_record_no_profile_replay_still_works(self, tmp_path, capsys):
+        import json as json_mod
+        trace = str(tmp_path / "cq.trace")
+        assert main(["record", "cas_retry_queue", "--scale", "0.3",
+                     "--out", trace, "--no-profile", "--json"]) == 0
+        rec = json_mod.loads(capsys.readouterr().out)
+        assert rec["live_verdict"] is None
+        assert main(["replay", trace, "--no-cache", "--json"]) == 1
+        data = json_mod.loads(capsys.readouterr().out)
+        assert data["verdict"] == "true sharing"
+
+
+class TestNumaFlags:
+    def test_numa_flags_slow_run(self, capsys):
+        import json as json_mod
+        assert main(["run", "numa_ping_pong", "--scale", "0.2",
+                     "--no-cache", "--json"]) == 0
+        base = json_mod.loads(capsys.readouterr().out)
+        assert main(["run", "numa_ping_pong", "--scale", "0.2",
+                     "--no-cache", "--json", "--numa-nodes", "2",
+                     "--remote-fetch-penalty", "60",
+                     "--remote-transfer-penalty", "40"]) == 0
+        numa = json_mod.loads(capsys.readouterr().out)
+        assert numa["runtime"] > base["runtime"]
+
+
+class TestDetectionExperiment:
+    def test_detection_table_renders(self, capsys):
+        assert main(["experiment", "detection", "--scale", "0.4",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Detection table" in out
+        assert "producer_consumer_ring" in out
+        assert "MISMATCH" not in out

@@ -46,6 +46,13 @@ V2_SURFACE = V1_SURFACE | {
     "ServeConfig", "FindingsSink",
 }
 
+#: The workload-registry API, exposed *additively* on top of the frozen
+#: v2 surface (``__api_version__`` stays 2; nothing a v2 caller imports
+#: moved or changed meaning).
+WORKLOAD_API_NAMES = {
+    "GroundTruth", "Verdict", "Workload", "get_workload", "iter_workloads",
+}
+
 #: Pre-v1 names that still import, but only through the deprecation shim.
 DEPRECATED_NAMES = (
     "profile", "run_plain", "Engine", "RunResult", "PMU",
@@ -57,17 +64,21 @@ class TestFrozenSurface:
     def test_api_version_is_two(self):
         assert repro.__api_version__ == 2
 
-    def test_surface_is_exactly_v2(self):
-        assert set(repro.__all__) == V2_SURFACE
+    def test_surface_is_exactly_v2_plus_workload_api(self):
+        assert set(repro.__all__) == V2_SURFACE | WORKLOAD_API_NAMES
 
     def test_v1_names_survive(self):
         """v2 removed nothing a v1 caller could import."""
         assert V1_SURFACE <= set(repro.__all__)
 
+    def test_v2_names_survive(self):
+        """The workload-API extension removed nothing from v2."""
+        assert V2_SURFACE <= set(repro.__all__)
+
     def test_every_name_resolves_without_warning(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            for name in sorted(V2_SURFACE):
+            for name in sorted(V2_SURFACE | WORKLOAD_API_NAMES):
                 assert getattr(repro, name) is not None
 
     def test_no_deprecated_name_in_surface(self):
@@ -79,7 +90,7 @@ class TestFrozenSurface:
 
     def test_dir_lists_surface_and_shims(self):
         listing = dir(repro)
-        for name in V2_SURFACE | set(DEPRECATED_NAMES):
+        for name in V2_SURFACE | WORKLOAD_API_NAMES | set(DEPRECATED_NAMES):
             assert name in listing
 
 
@@ -135,3 +146,63 @@ class TestV2Names:
         from repro.predict import predict_outcome, sampled_outcome
         assert repro.predict_outcome is predict_outcome
         assert repro.sampled_outcome is sampled_outcome
+
+
+class TestWorkloadAPINames:
+    """The additive workload-registry names are the real objects."""
+
+    def test_names_are_workloads_package_objects(self):
+        from repro.workloads import (
+            GroundTruth, Verdict, Workload, get_workload, iter_workloads,
+        )
+        assert repro.GroundTruth is GroundTruth
+        assert repro.Verdict is Verdict
+        assert repro.Workload is Workload
+        assert repro.get_workload is get_workload
+        assert repro.iter_workloads is iter_workloads
+
+    def test_ground_truth_is_queryable(self):
+        cls = repro.get_workload("linear_regression")
+        truth = cls.ground_truth
+        assert truth.verdict is repro.Verdict.FALSE_SHARING
+        assert truth.significant
+
+    def test_iter_workloads_filters(self):
+        names = [cls.name
+                 for cls in repro.iter_workloads(suite="concurrent")]
+        assert "producer_consumer_ring" in names
+        assert "linear_regression" not in names
+
+
+class TestDeprecatedWorkloadFlags:
+    """The old boolean pair still reads, derived from ground_truth,
+    with a DeprecationWarning — on classes and on instances."""
+
+    @pytest.mark.parametrize("attr", ["documented_false_sharing",
+                                      "significant_false_sharing"])
+    def test_class_access_warns(self, attr):
+        cls = repro.get_workload("linear_regression")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(cls, attr)
+        assert value is True
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert any("ground_truth" in str(w.message) for w in caught)
+
+    def test_instance_access_warns_and_derives(self):
+        cls = repro.get_workload("kmeans")
+        workload = cls(num_threads=2, scale=0.1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert workload.documented_false_sharing is False
+            assert workload.significant_false_sharing is False
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_negligible_false_sharing_derivation(self):
+        cls = repro.get_workload("histogram")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert cls.documented_false_sharing is True
+            assert cls.significant_false_sharing is False

@@ -105,13 +105,16 @@ class TestAllWorkloadsRun:
 
 
 class TestDocumentedFalseSharing:
-    def test_flags_match_paper(self):
-        documented = {name for name in FIGURE4_NAMES
-                      if get_workload(name).documented_false_sharing}
+    def test_ground_truth_matches_paper(self):
+        from repro.workloads import Verdict
+        documented = {
+            name for name in FIGURE4_NAMES
+            if get_workload(name).ground_truth.verdict
+            is Verdict.FALSE_SHARING}
         assert documented == {"linear_regression", "streamcluster",
                               "histogram", "reverse_index", "word_count"}
-        significant = {name for name in FIGURE4_NAMES
-                       if get_workload(name).significant_false_sharing}
+        significant = {name for name in documented
+                       if get_workload(name).ground_truth.significant}
         assert significant == {"linear_regression", "streamcluster"}
 
     def test_linear_regression_ground_truth_invalidations(self):
